@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Design-space ablations for the knobs §III-D calls out:
+ *  - tracker counter width (T0 / T4 / T16), extending Fig 8a's
+ *    T16-vs-T0 comparison across the full T_i family;
+ *  - region size (§III-D4's precision-vs-overhead trade-off);
+ *  - hardware-assisted vs conventional software TLB shootdowns
+ *    (§III-D3's motivation for adopting DiDi-style support);
+ *  - the literal random(sharers) destination of Algorithm 1 vs the
+ *    stay-at-a-sharer refinement (DESIGN.md deviation).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "driver/timing_sim.hh"
+#include "sim/table.hh"
+
+using namespace starnuma;
+using benchutil::benchScale;
+
+namespace
+{
+
+std::vector<std::string>
+ablationWorkloads()
+{
+    if (benchutil::fastMode())
+        return {"bfs"};
+    return {"bfs", "sssp", "masstree"};
+}
+
+double
+speedupWith(const std::string &workload,
+            const driver::SystemSetup &setup,
+            driver::TimingOptions options = {})
+{
+    SimScale scale = benchScale();
+    const auto &trace = driver::workloadTrace(workload, scale);
+    driver::TraceSim tsim(setup, scale);
+    auto placement = tsim.run(trace);
+    driver::TimingSim timing(setup, scale, options);
+    auto m = timing.run(trace, placement);
+    const auto &base = benchutil::cachedRun(
+        workload, driver::SystemSetup::baseline(), scale);
+    return m.speedupOver(base.metrics);
+}
+
+void
+BM_Ablation(benchmark::State &state, const std::string &workload)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(benchutil::speedupOverBaseline(
+            workload, driver::SystemSetup::starnuma(),
+            benchScale()));
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const auto &w : ablationWorkloads())
+        benchmark::RegisterBenchmark(("Ablation/" + w).c_str(),
+                                     BM_Ablation, w)
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    int rc = benchutil::runBenchmarks(argc, argv);
+
+    // 1) Tracker width sweep.
+    {
+        TextTable t({"workload", "T0", "T4", "T16"});
+        for (const auto &w : ablationWorkloads()) {
+            std::vector<std::string> row{w};
+            for (int bits : {0, 4, 16}) {
+                driver::SystemSetup s =
+                    driver::SystemSetup::starnuma();
+                s.name = "starnuma-t" + std::to_string(bits);
+                s.migration.counterBits = bits;
+                row.push_back(
+                    TextTable::num(speedupWith(w, s), 2) + "x");
+            }
+            t.addRow(row);
+        }
+        benchutil::printSection(
+            "Ablation: tracker counter width T_i", t.str());
+    }
+
+    // 2) Region size sweep (§III-D4).
+    {
+        TextTable t({"workload", "4 KB", "16 KB", "64 KB",
+                     "256 KB"});
+        for (const auto &w : ablationWorkloads()) {
+            std::vector<std::string> row{w};
+            for (Addr kb : {4, 16, 64, 256}) {
+                driver::SystemSetup s =
+                    driver::SystemSetup::starnuma();
+                s.name = "starnuma-r" + std::to_string(kb);
+                s.regionBytes = kb * 1024;
+                row.push_back(
+                    TextTable::num(speedupWith(w, s), 2) + "x");
+            }
+            t.addRow(row);
+        }
+        benchutil::printSection(
+            "Ablation: region size (precision vs metadata "
+            "overhead, Sec III-D4)",
+            t.str());
+    }
+
+    // 3) Hardware vs software TLB shootdowns (§III-D3).
+    {
+        TextTable t({"workload", "hardware (DiDi-style)",
+                     "software (IPI every core)"});
+        for (const auto &w : ablationWorkloads()) {
+            driver::SystemSetup s = driver::SystemSetup::starnuma();
+            driver::TimingOptions sw;
+            sw.softwareShootdowns = true;
+            t.addRow({w,
+                      TextTable::num(speedupWith(w, s), 2) + "x",
+                      TextTable::num(speedupWith(w, s, sw), 2) +
+                          "x"});
+        }
+        benchutil::printSection(
+            "Ablation: TLB shootdown support (Sec III-D3 — "
+            "software shootdowns erode the gains)",
+            t.str());
+    }
+
+    // 4) Literal Algorithm 1 destination vs stay-at-a-sharer.
+    {
+        TextTable t({"workload", "stay-at-a-sharer (default)",
+                     "literal random(sharers)"});
+        for (const auto &w : ablationWorkloads()) {
+            driver::SystemSetup lit = driver::SystemSetup::starnuma();
+            lit.name = "starnuma-literal";
+            lit.migration.randomSharerReshuffle = true;
+            t.addRow(
+                {w,
+                 TextTable::num(
+                     speedupWith(w, driver::SystemSetup::starnuma()),
+                     2) + "x",
+                 TextTable::num(speedupWith(w, lit), 2) + "x"});
+        }
+        benchutil::printSection(
+            "Ablation: narrow-region destination policy", t.str());
+    }
+    return rc;
+}

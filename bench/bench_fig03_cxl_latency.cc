@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fig 3 reproduction: the CXL memory pool access latency breakdown
+ * (25 ns per CXL port roundtrip, 20 ns retimer, 10 ns flight, 20 ns
+ * MHD internals -> 100 ns overhead; 180 ns end to end), plus the
+ * §II-C first-order AMAT estimate the breakdown feeds (160 ns
+ * baseline -> 112 ns with the pool).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analytic/amat.hh"
+#include "bench_util.hh"
+#include "sim/table.hh"
+
+using namespace starnuma;
+
+namespace
+{
+
+void
+BM_Fig3_CxlBreakdown(benchmark::State &state)
+{
+    auto cfg = topology::SystemConfig::starnuma16();
+    double total = 0;
+    for (auto _ : state) {
+        total = analytic::poolAccessLatencyNs(cfg);
+        benchmark::DoNotOptimize(total);
+    }
+    state.counters["pool_ns"] = total;
+}
+BENCHMARK(BM_Fig3_CxlBreakdown)->Iterations(1);
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    int rc = benchutil::runBenchmarks(argc, argv);
+
+    for (auto cfg : {topology::SystemConfig::starnuma16(),
+                     topology::SystemConfig::starnumaSwitched()}) {
+        TextTable t({"component", "roundtrip ns"});
+        double sum = 0;
+        for (const auto &part : analytic::cxlLatencyBreakdown(cfg)) {
+            t.addRow({part.name, TextTable::num(part.ns, 0)});
+            sum += part.ns;
+        }
+        t.addRow({"total CXL overhead", TextTable::num(sum, 0)});
+        t.addRow({"+ on-processor + DRAM",
+                  TextTable::num(cfg.localNs(), 0)});
+        t.addRow({"end-to-end pool access",
+                  TextTable::num(analytic::poolAccessLatencyNs(cfg),
+                                 0)});
+        benchutil::printSection(
+            "Fig 3: pool access latency breakdown (" + cfg.name +
+                ")",
+            t.str());
+    }
+
+    auto cfg = topology::SystemConfig::starnuma16();
+    TextTable e({"placement", "first-order AMAT ns", "paper"});
+    e.addRow({"baseline (36% fully shared)",
+              TextTable::num(
+                  analytic::firstOrderAmatNs(cfg, 0.36, false), 0),
+              "160"});
+    e.addRow({"pool for inter-chassis share",
+              TextTable::num(
+                  analytic::firstOrderAmatNs(cfg, 0.36, true), 0),
+              "112"});
+    benchutil::printSection("Sec II-C first-order AMAT estimate",
+                            e.str());
+    return rc;
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Fig 8 reproduction — the paper's main result, in three parts:
+ * (a) IPC of StarNUMA (T16 and T0 trackers) normalized to the
+ *     baseline with perfect-knowledge dynamic migration;
+ * (b) AMAT decomposed into analytically derived unloaded latency
+ *     and measured contention delay;
+ * (c) the memory access breakdown by type (local / 1-hop / 2-hop /
+ *     pool / BT_Socket / BT_Pool).
+ * Also prints §V-A's coherence-rate observation (one directory
+ * transaction every ~100 ns).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "sim/stats.hh"
+#include "sim/table.hh"
+
+using namespace starnuma;
+using benchutil::benchScale;
+using benchutil::cachedRun;
+
+namespace
+{
+
+void
+BM_Fig8_Workload(benchmark::State &state,
+                 const std::string &workload)
+{
+    SimScale scale = benchScale();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cachedRun(workload, driver::SystemSetup::baseline(),
+                      scale)
+                .metrics.ipc);
+        benchmark::DoNotOptimize(
+            cachedRun(workload, driver::SystemSetup::starnuma(),
+                      scale)
+                .metrics.ipc);
+        benchmark::DoNotOptimize(
+            cachedRun(workload, driver::SystemSetup::starnumaT0(),
+                      scale)
+                .metrics.ipc);
+    }
+    state.counters["speedup_t16"] = benchutil::speedupOverBaseline(
+        workload, driver::SystemSetup::starnuma(), scale);
+    state.counters["speedup_t0"] = benchutil::speedupOverBaseline(
+        workload, driver::SystemSetup::starnumaT0(), scale);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const auto &w : benchutil::benchWorkloads())
+        benchmark::RegisterBenchmark(("Fig8/" + w).c_str(),
+                                     BM_Fig8_Workload, w)
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    int rc = benchutil::runBenchmarks(argc, argv);
+
+    SimScale scale = benchScale();
+    auto base = driver::SystemSetup::baseline();
+    auto star = driver::SystemSetup::starnuma();
+    auto star0 = driver::SystemSetup::starnumaT0();
+
+    // (a) speedups
+    {
+        TextTable t({"workload", "StarNUMA T16", "StarNUMA T0"});
+        std::vector<double> t16, t0;
+        for (const auto &w : benchutil::benchWorkloads()) {
+            double s16 =
+                benchutil::speedupOverBaseline(w, star, scale);
+            double s0 =
+                benchutil::speedupOverBaseline(w, star0, scale);
+            t16.push_back(s16);
+            t0.push_back(s0);
+            t.addRow({w, TextTable::num(s16, 2) + "x",
+                      TextTable::num(s0, 2) + "x"});
+        }
+        t.addRow({"geomean",
+                  TextTable::num(stats::geomean(t16), 2) + "x",
+                  TextTable::num(stats::geomean(t0), 2) + "x"});
+        benchutil::printSection(
+            "Fig 8a: speedup over baseline (paper: 1.54x geomean "
+            "T16, 1.35x T0)",
+            t.str());
+    }
+
+    // (b) AMAT decomposition
+    {
+        TextTable t({"workload", "system", "AMAT ns",
+                     "unloaded ns", "contention ns"});
+        for (const auto &w : benchutil::benchWorkloads()) {
+            for (const auto *setup : {&base, &star}) {
+                const auto &m =
+                    cachedRun(w, *setup, scale).metrics;
+                t.addRow({w,
+                          setup->sys.hasPool ? "StarNUMA"
+                                             : "Baseline",
+                          TextTable::num(m.amatNs(), 0),
+                          TextTable::num(m.unloadedAmatNs(), 0),
+                          TextTable::num(m.contentionNs(), 0)});
+            }
+        }
+        benchutil::printSection(
+            "Fig 8b: AMAT = unloaded latency + contention delay "
+            "(paper: 48% average AMAT reduction)",
+            t.str());
+    }
+
+    // (c) access mix
+    {
+        TextTable t({"workload", "system", "local", "1-hop",
+                     "2-hop", "pool", "BT_Sock", "BT_Pool"});
+        for (const auto &w : benchutil::benchWorkloads()) {
+            for (const auto *setup : {&base, &star}) {
+                const auto &m =
+                    cachedRun(w, *setup, scale).metrics;
+                std::vector<std::string> row{
+                    w, setup->sys.hasPool ? "StarNUMA"
+                                          : "Baseline"};
+                for (int i = 0; i < driver::accessTypes; ++i)
+                    row.push_back(TextTable::pct(m.mix[i], 1));
+                t.addRow(row);
+            }
+        }
+        benchutil::printSection("Fig 8c: memory access breakdown",
+                                t.str());
+    }
+
+    // §V-A coherence-rate observation.
+    {
+        TextTable t({"workload", "dir transactions",
+                     "BT fraction of accesses"});
+        for (const auto &w : benchutil::benchWorkloads()) {
+            const auto &m = cachedRun(w, star, scale).metrics;
+            double bt =
+                m.mix[static_cast<int>(
+                    driver::AccessType::BtSocket)] +
+                m.mix[static_cast<int>(driver::AccessType::BtPool)];
+            t.addRow({w,
+                      std::to_string(m.coherenceTransactions),
+                      TextTable::pct(bt, 1)});
+        }
+        benchutil::printSection(
+            "Sec V-A: coherence activity on StarNUMA", t.str());
+    }
+    return rc;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fig 9 reproduction: static initial placement with oracular
+ * a-priori knowledge (no runtime migration) on both architectures,
+ * normalized to the baseline with dynamic migration. The paper's
+ * headline observation: the baseline with static oracular placement
+ * gains nothing over dynamic migration — the baseline
+ * architecturally lacks a good location for vagabond pages — while
+ * StarNUMA's static placement slightly beats its dynamic variant.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "sim/table.hh"
+
+using namespace starnuma;
+using benchutil::benchScale;
+using benchutil::cachedRun;
+
+namespace
+{
+
+void
+BM_Fig9_Workload(benchmark::State &state,
+                 const std::string &workload)
+{
+    SimScale scale = benchScale();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cachedRun(workload,
+                      driver::SystemSetup::baselineStatic(), scale)
+                .metrics.ipc);
+        benchmark::DoNotOptimize(
+            cachedRun(workload,
+                      driver::SystemSetup::starnumaStatic(), scale)
+                .metrics.ipc);
+    }
+    state.counters["baseline_static"] =
+        benchutil::speedupOverBaseline(
+            workload, driver::SystemSetup::baselineStatic(), scale);
+    state.counters["starnuma_static"] =
+        benchutil::speedupOverBaseline(
+            workload, driver::SystemSetup::starnumaStatic(), scale);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const auto &w : benchutil::benchWorkloads())
+        benchmark::RegisterBenchmark(("Fig9/" + w).c_str(),
+                                     BM_Fig9_Workload, w)
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    int rc = benchutil::runBenchmarks(argc, argv);
+
+    SimScale scale = benchScale();
+    TextTable t({"workload", "baseline static", "starnuma static",
+                 "starnuma dynamic"});
+    for (const auto &w : benchutil::benchWorkloads()) {
+        t.addRow(
+            {w,
+             TextTable::num(benchutil::speedupOverBaseline(
+                                w,
+                                driver::SystemSetup::
+                                    baselineStatic(),
+                                scale),
+                            2) + "x",
+             TextTable::num(benchutil::speedupOverBaseline(
+                                w,
+                                driver::SystemSetup::
+                                    starnumaStatic(),
+                                scale),
+                            2) + "x",
+             TextTable::num(
+                 benchutil::speedupOverBaseline(
+                     w, driver::SystemSetup::starnuma(), scale),
+                 2) + "x"});
+    }
+    benchutil::printSection(
+        "Fig 9: oracular static placement, normalized to baseline "
+        "with dynamic migration",
+        t.str());
+    return rc;
+}

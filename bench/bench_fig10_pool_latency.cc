@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fig 10 reproduction: StarNUMA's sensitivity to the memory pool
+ * access latency. Besides the default 100 ns overhead (180 ns end
+ * to end), a 190 ns overhead (270 ns end to end) models an
+ * intermediate CXL switch. The paper: average speedup drops from
+ * 1.54x to 1.34x, with TC hit hardest (1.63x -> 1.11x) because its
+ * gains are almost purely latency-driven.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "sim/stats.hh"
+#include "sim/table.hh"
+
+using namespace starnuma;
+using benchutil::benchScale;
+
+namespace
+{
+
+void
+BM_Fig10_Workload(benchmark::State &state,
+                  const std::string &workload)
+{
+    SimScale scale = benchScale();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(benchutil::speedupOverBaseline(
+            workload, driver::SystemSetup::starnumaSwitched(),
+            scale));
+    }
+    state.counters["speedup_100ns"] =
+        benchutil::speedupOverBaseline(
+            workload, driver::SystemSetup::starnuma(), scale);
+    state.counters["speedup_190ns"] =
+        benchutil::speedupOverBaseline(
+            workload, driver::SystemSetup::starnumaSwitched(),
+            scale);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const auto &w : benchutil::benchWorkloads())
+        benchmark::RegisterBenchmark(("Fig10/" + w).c_str(),
+                                     BM_Fig10_Workload, w)
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    int rc = benchutil::runBenchmarks(argc, argv);
+
+    SimScale scale = benchScale();
+    TextTable t({"workload", "100 ns penalty (180 ns e2e)",
+                 "190 ns penalty (270 ns e2e)"});
+    std::vector<double> fast, slow;
+    for (const auto &w : benchutil::benchWorkloads()) {
+        double f = benchutil::speedupOverBaseline(
+            w, driver::SystemSetup::starnuma(), scale);
+        double s = benchutil::speedupOverBaseline(
+            w, driver::SystemSetup::starnumaSwitched(), scale);
+        fast.push_back(f);
+        slow.push_back(s);
+        t.addRow({w, TextTable::num(f, 2) + "x",
+                  TextTable::num(s, 2) + "x"});
+    }
+    t.addRow({"geomean", TextTable::num(stats::geomean(fast), 2) +
+                             "x",
+              TextTable::num(stats::geomean(slow), 2) + "x"});
+    benchutil::printSection(
+        "Fig 10: speedup vs CXL pool latency (paper: 1.54x -> "
+        "1.34x average)",
+        t.str());
+    return rc;
+}

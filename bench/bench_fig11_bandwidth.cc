@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fig 11 reproduction: the bandwidth-provisioning study. Four
+ * configurations over the baseline: Baseline ISO-BW (coherent
+ * links augmented to match the pool's aggregate bandwidth),
+ * Baseline 2xBW (every coherent link doubled — impractical
+ * overprovisioning), StarNUMA, and StarNUMA Half-BW (x4 CXL
+ * links). Paper conclusions: StarNUMA beats even 2xBW by 12% on
+ * average, ISO-BW trails StarNUMA by 40%, and Half-BW still beats
+ * ISO-BW — brute-force bandwidth is neither necessary nor
+ * sufficient.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "sim/stats.hh"
+#include "sim/table.hh"
+
+using namespace starnuma;
+using benchutil::benchScale;
+
+namespace
+{
+
+const std::vector<driver::SystemSetup> &
+configs()
+{
+    static std::vector<driver::SystemSetup> v{
+        driver::SystemSetup::baselineIsoBW(),
+        driver::SystemSetup::baseline2xBW(),
+        driver::SystemSetup::starnuma(),
+        driver::SystemSetup::starnumaHalfBW()};
+    return v;
+}
+
+void
+BM_Fig11_Workload(benchmark::State &state,
+                  const std::string &workload)
+{
+    SimScale scale = benchScale();
+    for (auto _ : state)
+        for (const auto &cfg : configs())
+            benchmark::DoNotOptimize(benchutil::speedupOverBaseline(
+                workload, cfg, scale));
+    for (const auto &cfg : configs())
+        state.counters[cfg.name] = benchutil::speedupOverBaseline(
+            workload, cfg, scale);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const auto &w : benchutil::benchWorkloads())
+        benchmark::RegisterBenchmark(("Fig11/" + w).c_str(),
+                                     BM_Fig11_Workload, w)
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    int rc = benchutil::runBenchmarks(argc, argv);
+
+    SimScale scale = benchScale();
+    std::vector<std::string> header{"workload"};
+    for (const auto &cfg : configs())
+        header.push_back(cfg.name);
+    TextTable t(header);
+    std::vector<std::vector<double>> cols(configs().size());
+    for (const auto &w : benchutil::benchWorkloads()) {
+        std::vector<std::string> row{w};
+        for (std::size_t i = 0; i < configs().size(); ++i) {
+            double s = benchutil::speedupOverBaseline(
+                w, configs()[i], scale);
+            cols[i].push_back(s);
+            row.push_back(TextTable::num(s, 2) + "x");
+        }
+        t.addRow(row);
+    }
+    std::vector<std::string> gm{"geomean"};
+    for (auto &col : cols)
+        gm.push_back(TextTable::num(stats::geomean(col), 2) + "x");
+    t.addRow(gm);
+    benchutil::printSection(
+        "Fig 11: speedup over baseline per link-bandwidth "
+        "configuration (paper: ISO-BW 1.14x; StarNUMA beats 2xBW "
+        "by 12%)",
+        t.str());
+    return rc;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fig 12 reproduction: memory pool capacity sensitivity. The
+ * default pool holds one chassis' worth of memory (1/5 of the
+ * footprint); the variant holds a single socket's (1/17). Paper: a
+ * 4x capacity cut barely moves the average (1.54x -> 1.48x) — a
+ * high fraction of remote accesses targets a small set of hot
+ * pages that still fit — with FMI the most affected workload.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "sim/stats.hh"
+#include "sim/table.hh"
+
+using namespace starnuma;
+using benchutil::benchScale;
+using benchutil::cachedRun;
+
+namespace
+{
+
+void
+BM_Fig12_Workload(benchmark::State &state,
+                  const std::string &workload)
+{
+    SimScale scale = benchScale();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(benchutil::speedupOverBaseline(
+            workload, driver::SystemSetup::starnumaSmallPool(),
+            scale));
+    state.counters["pool_1_5"] = benchutil::speedupOverBaseline(
+        workload, driver::SystemSetup::starnuma(), scale);
+    state.counters["pool_1_17"] = benchutil::speedupOverBaseline(
+        workload, driver::SystemSetup::starnumaSmallPool(), scale);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const auto &w : benchutil::benchWorkloads())
+        benchmark::RegisterBenchmark(("Fig12/" + w).c_str(),
+                                     BM_Fig12_Workload, w)
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    int rc = benchutil::runBenchmarks(argc, argv);
+
+    SimScale scale = benchScale();
+    TextTable t({"workload", "pool = 1/5 footprint",
+                 "pool = 1/17 footprint", "pool pages (1/17)"});
+    std::vector<double> big, small;
+    for (const auto &w : benchutil::benchWorkloads()) {
+        double b = benchutil::speedupOverBaseline(
+            w, driver::SystemSetup::starnuma(), scale);
+        double s = benchutil::speedupOverBaseline(
+            w, driver::SystemSetup::starnumaSmallPool(), scale);
+        big.push_back(b);
+        small.push_back(s);
+        const auto &p =
+            cachedRun(w, driver::SystemSetup::starnumaSmallPool(),
+                      scale)
+                .placement;
+        t.addRow({w, TextTable::num(b, 2) + "x",
+                  TextTable::num(s, 2) + "x",
+                  std::to_string(p.pagesInPool) + "/" +
+                      std::to_string(p.poolCapacityPages)});
+    }
+    t.addRow({"geomean", TextTable::num(stats::geomean(big), 2) +
+                             "x",
+              TextTable::num(stats::geomean(small), 2) + "x", ""});
+    benchutil::printSection(
+        "Fig 12: speedup vs pool capacity (paper: 1.54x -> 1.48x)",
+        t.str());
+    return rc;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * §V-F reproduction: page replication versus memory pooling.
+ * Evaluates the baseline augmented with idealized read-only page
+ * replication (a-priori read/write knowledge, free maintenance)
+ * against StarNUMA's pool, reporting speedup and the replication
+ * capacity overhead. The paper's argument: replication only works
+ * for read-only vagabond pages that are hot *and* small — BFS's
+ * shared pages are read-write (nothing to replicate), TC's are
+ * read-only but cover most of the dataset (capacity-prohibitive).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "sim/table.hh"
+
+using namespace starnuma;
+using benchutil::benchScale;
+using benchutil::cachedRun;
+
+namespace
+{
+
+void
+BM_Replication(benchmark::State &state,
+               const std::string &workload)
+{
+    SimScale scale = benchScale();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(benchutil::speedupOverBaseline(
+            workload, driver::SystemSetup::baselineReplication(),
+            scale));
+    const auto &rep =
+        cachedRun(workload,
+                  driver::SystemSetup::baselineReplication(), scale)
+            .placement.replication;
+    state.counters["speedup"] = benchutil::speedupOverBaseline(
+        workload, driver::SystemSetup::baselineReplication(),
+        scale);
+    state.counters["capacity_overhead"] = rep.capacityOverhead;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const auto &w : benchutil::benchWorkloads())
+        benchmark::RegisterBenchmark(("Sec5F/" + w).c_str(),
+                                     BM_Replication, w)
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    int rc = benchutil::runBenchmarks(argc, argv);
+
+    SimScale scale = benchScale();
+    TextTable t({"workload", "replication speedup",
+                 "starnuma speedup", "replica capacity overhead",
+                 "RW pages rejected", "capacity rejected"});
+    for (const auto &w : benchutil::benchWorkloads()) {
+        const auto &run = cachedRun(
+            w, driver::SystemSetup::baselineReplication(), scale);
+        const auto &rep = run.placement.replication;
+        t.addRow({w,
+                  TextTable::num(benchutil::speedupOverBaseline(
+                                     w,
+                                     driver::SystemSetup::
+                                         baselineReplication(),
+                                     scale),
+                                 2) + "x",
+                  TextTable::num(benchutil::speedupOverBaseline(
+                                     w,
+                                     driver::SystemSetup::starnuma(),
+                                     scale),
+                                 2) + "x",
+                  TextTable::num(rep.capacityOverhead, 2) + "x",
+                  std::to_string(rep.rejectedReadWrite),
+                  std::to_string(rep.rejectedCapacity)});
+    }
+    benchutil::printSection(
+        "Sec V-F: idealized read-only replication vs StarNUMA's "
+        "pool (replication budget: 2x footprint)",
+        t.str());
+    return rc;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Table III reproduction: per-core IPC on the baseline 16-socket
+ * system, per-core IPC for single-socket execution with local
+ * memory only (parentheses in the paper), and LLC MPKI, for every
+ * workload. The 2-10x IPC gap between single- and 16-socket
+ * execution illustrates the NUMA effects StarNUMA attacks.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "sim/table.hh"
+
+using namespace starnuma;
+using benchutil::benchScale;
+using benchutil::cachedRun;
+using benchutil::cachedSingleSocket;
+
+namespace
+{
+
+void
+BM_Table3_Workload(benchmark::State &state,
+                   const std::string &workload)
+{
+    SimScale scale = benchScale();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cachedRun(workload, driver::SystemSetup::baseline(),
+                      scale)
+                .metrics.ipc);
+        benchmark::DoNotOptimize(
+            cachedSingleSocket(workload, scale).ipc);
+    }
+    const auto &multi =
+        cachedRun(workload, driver::SystemSetup::baseline(), scale)
+            .metrics;
+    state.counters["ipc_16s"] = multi.ipc;
+    state.counters["ipc_1s"] =
+        cachedSingleSocket(workload, scale).ipc;
+    state.counters["mpki"] = multi.llcMpki;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const auto &w : benchutil::benchWorkloads())
+        benchmark::RegisterBenchmark(("Table3/" + w).c_str(),
+                                     BM_Table3_Workload, w)
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    int rc = benchutil::runBenchmarks(argc, argv);
+
+    SimScale scale = benchScale();
+    // Paper Table III values for reference: IPC-16s (IPC-1s) MPKI.
+    struct Ref
+    {
+        const char *w;
+        const char *paper;
+    };
+    const Ref refs[] = {
+        {"sssp", "0.06 (0.56)  73"}, {"bfs", "0.10 (0.69)  32"},
+        {"cc", "0.14 (0.78)  17"},   {"tc", "0.40 (1.7)  3.2"},
+        {"masstree", "0.18 (0.89)  15"},
+        {"tpcc", "0.41 (1.12)  4.8"}, {"fmi", "0.61 (1.45)  2.6"},
+        {"poa", "0.68 (0.68)  33"}};
+
+    TextTable t({"workload", "IPC 16-socket", "IPC 1-socket",
+                 "gap", "LLC MPKI", "paper: IPC (1s) MPKI"});
+    for (const auto &w : benchutil::benchWorkloads()) {
+        const auto &multi =
+            cachedRun(w, driver::SystemSetup::baseline(), scale)
+                .metrics;
+        const auto &single = cachedSingleSocket(w, scale);
+        std::string paper = "-";
+        for (const auto &r : refs)
+            if (w == r.w)
+                paper = r.paper;
+        t.addRow({w, TextTable::num(multi.ipc, 3),
+                  TextTable::num(single.ipc, 3),
+                  TextTable::num(single.ipc /
+                                     std::max(multi.ipc, 1e-9),
+                                 1) + "x",
+                  TextTable::num(multi.llcMpki, 1), paper});
+    }
+    benchutil::printSection(
+        "Table III: workload summary (baseline 16-socket vs "
+        "single socket)",
+        t.str());
+    return rc;
+}

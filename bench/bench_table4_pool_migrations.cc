@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Table IV reproduction: the fraction of StarNUMA's migrations
+ * whose destination is the memory pool, per workload. The paper
+ * reports an (ex-POA) geometric mean of 83%, with several
+ * workloads at 90%+ and POA at exactly zero.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "sim/stats.hh"
+#include "sim/table.hh"
+
+using namespace starnuma;
+using benchutil::benchScale;
+using benchutil::cachedRun;
+
+namespace
+{
+
+void
+BM_Table4_Workload(benchmark::State &state,
+                   const std::string &workload)
+{
+    SimScale scale = benchScale();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            cachedRun(workload, driver::SystemSetup::starnuma(),
+                      scale)
+                .placement.poolMigrationFraction);
+    state.counters["pool_migration_fraction"] =
+        cachedRun(workload, driver::SystemSetup::starnuma(), scale)
+            .placement.poolMigrationFraction;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const auto &w : benchutil::benchWorkloads())
+        benchmark::RegisterBenchmark(("Table4/" + w).c_str(),
+                                     BM_Table4_Workload, w)
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    int rc = benchutil::runBenchmarks(argc, argv);
+
+    struct Ref
+    {
+        const char *w;
+        const char *paper;
+    };
+    const Ref refs[] = {{"sssp", "80%"}, {"bfs", "100%"},
+                        {"cc", "99%"},   {"tc", "80%"},
+                        {"masstree", "100%"}, {"tpcc", "93%"},
+                        {"fmi", "47%"},  {"poa", "0%"}};
+
+    SimScale scale = benchScale();
+    TextTable t({"workload", "migrations to pool", "pages in pool",
+                 "victim evictions", "paper"});
+    std::vector<double> nonzero;
+    for (const auto &w : benchutil::benchWorkloads()) {
+        const auto &p =
+            cachedRun(w, driver::SystemSetup::starnuma(), scale)
+                .placement;
+        std::string paper = "-";
+        for (const auto &r : refs)
+            if (w == r.w)
+                paper = r.paper;
+        if (p.poolMigrationFraction > 0)
+            nonzero.push_back(p.poolMigrationFraction);
+        t.addRow({w, TextTable::pct(p.poolMigrationFraction, 0),
+                  std::to_string(p.pagesInPool),
+                  std::to_string(p.victimEvictions), paper});
+    }
+    if (!nonzero.empty())
+        t.addRow({"geomean (ex zero rows)",
+                  TextTable::pct(stats::geomean(nonzero), 0), "",
+                  "", "83%"});
+    benchutil::printSection(
+        "Table IV: fraction of migrations to the pool", t.str());
+    return rc;
+}

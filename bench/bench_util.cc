@@ -1,0 +1,116 @@
+#include "bench_util.hh"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "workloads/workload.hh"
+
+namespace starnuma
+{
+namespace benchutil
+{
+
+void
+printSection(const std::string &title, const std::string &body)
+{
+    std::printf("\n=== %s ===\n%s\n", title.c_str(), body.c_str());
+    std::fflush(stdout);
+}
+
+bool
+fastMode()
+{
+    const char *v = std::getenv("STARNUMA_BENCH_FAST");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+SimScale
+benchScale()
+{
+    SimScale s = SimScale::sc1();
+    if (fastMode()) {
+        s.phases = 2;
+        s.phaseInstructions = 100000;
+    }
+    return s;
+}
+
+namespace
+{
+
+std::string
+scaleKey(const SimScale &s)
+{
+    return std::to_string(s.threads()) + ":" +
+           std::to_string(s.phases) + ":" +
+           std::to_string(s.phaseInstructions) + ":" +
+           std::to_string(s.detailFraction);
+}
+
+} // anonymous namespace
+
+const driver::ExperimentResult &
+cachedRun(const std::string &workload,
+          const driver::SystemSetup &setup, const SimScale &scale)
+{
+    static std::map<std::string, driver::ExperimentResult> memo;
+    std::string key =
+        workload + "/" + setup.name + "/" + scaleKey(scale) + "/r" +
+        std::to_string(setup.regionBytes);
+    auto it = memo.find(key);
+    if (it == memo.end())
+        it = memo.emplace(key, driver::runExperiment(
+                                   workload, setup, scale))
+                 .first;
+    return it->second;
+}
+
+const driver::RunMetrics &
+cachedSingleSocket(const std::string &workload,
+                   const SimScale &scale)
+{
+    static std::map<std::string, driver::RunMetrics> memo;
+    std::string key = workload + "/" + scaleKey(scale);
+    auto it = memo.find(key);
+    if (it == memo.end())
+        it = memo.emplace(key,
+                          driver::runSingleSocket(workload, scale))
+                 .first;
+    return it->second;
+}
+
+double
+speedupOverBaseline(const std::string &workload,
+                    const driver::SystemSetup &setup,
+                    const SimScale &scale)
+{
+    const auto &base = cachedRun(
+        workload, driver::SystemSetup::baseline(), scale);
+    const auto &run = cachedRun(workload, setup, scale);
+    return run.metrics.speedupOver(base.metrics);
+}
+
+std::vector<std::string>
+benchWorkloads()
+{
+    if (fastMode())
+        return {"bfs", "tc", "poa"};
+    return workloads::workloadNames();
+}
+
+int
+runBenchmarks(int argc, char **argv)
+{
+    ::benchmark::Initialize(&argc, argv);
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace benchutil
+} // namespace starnuma

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches. Each
+ * bench binary registers one google-benchmark entry per evaluated
+ * configuration (Iterations(1) — the simulations are deterministic)
+ * and prints a paper-style table after the benchmark report.
+ * Experiment results are memoized per process; workload traces are
+ * additionally cached on disk (STARNUMA_TRACE_DIR, default
+ * .trace_cache) so the bench suite captures each workload once.
+ */
+
+#ifndef STARNUMA_BENCH_BENCH_UTIL_HH
+#define STARNUMA_BENCH_BENCH_UTIL_HH
+
+#include <string>
+#include <vector>
+
+#include "driver/experiment.hh"
+
+namespace starnuma
+{
+namespace benchutil
+{
+
+/** Print a titled section containing a rendered table. */
+void printSection(const std::string &title, const std::string &body);
+
+/**
+ * True when the STARNUMA_BENCH_FAST environment variable is set;
+ * benches then shrink the simulated scale for quick smoke runs.
+ */
+bool fastMode();
+
+/** The scale benches run at (SimScale::sc1, shrunk in fast mode). */
+SimScale benchScale();
+
+/** Memoized full-pipeline run. */
+const driver::ExperimentResult &cachedRun(
+    const std::string &workload, const driver::SystemSetup &setup,
+    const SimScale &scale);
+
+/** Memoized single-socket reference run (Table III). */
+const driver::RunMetrics &cachedSingleSocket(
+    const std::string &workload, const SimScale &scale);
+
+/** Speedup of @p setup over the baseline system. */
+double speedupOverBaseline(const std::string &workload,
+                           const driver::SystemSetup &setup,
+                           const SimScale &scale);
+
+/** The workloads evaluated by the paper-wide benches. */
+std::vector<std::string> benchWorkloads();
+
+/**
+ * Register the standard `--benchmark_*` flags, run the registered
+ * benchmarks, and return as main() would.
+ */
+int runBenchmarks(int argc, char **argv);
+
+} // namespace benchutil
+} // namespace starnuma
+
+#endif // STARNUMA_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Domain example: capacity planning for a StarNUMA deployment.
+ * Sweeps the memory pool's capacity fraction and CXL latency for a
+ * chosen workload and prints the speedup surface — the kind of
+ * study a system architect would run before provisioning an MHD
+ * (combines the paper's Fig 10 and Fig 12 axes).
+ *
+ *   ./example_capacity_planning [workload]   (default: masstree)
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.hh"
+#include "sim/table.hh"
+
+using namespace starnuma;
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = argc > 1 ? argv[1] : "masstree";
+
+    SimScale scale = SimScale::sc1();
+    scale.phases = 4; // one less phase than the benches: quicker
+
+    auto base = driver::runExperiment(
+        workload, driver::SystemSetup::baseline(), scale);
+    std::printf("workload '%s': baseline IPC %.3f\n\n",
+                workload.c_str(), base.metrics.ipc);
+
+    const std::vector<double> capacities{1.0 / 17, 0.10, 0.20,
+                                         0.35};
+    const std::vector<double> cxl_one_way_ns{50.0, 72.5, 95.0};
+
+    std::vector<std::string> header{"pool capacity \\ CXL e2e"};
+    for (double ns : cxl_one_way_ns)
+        header.push_back(TextTable::num(80 + 2 * ns, 0) + " ns");
+    TextTable t(header);
+
+    for (double cap : capacities) {
+        std::vector<std::string> row{
+            TextTable::pct(cap, 1) + " of footprint"};
+        for (double ns : cxl_one_way_ns) {
+            driver::SystemSetup setup =
+                driver::SystemSetup::starnuma();
+            setup.name = "starnuma-c" + std::to_string(cap) + "-l" +
+                         std::to_string(ns);
+            setup.sys.poolCapacityFraction = cap;
+            setup.sys.cxlOneWayNs = ns;
+            auto run =
+                driver::runExperiment(workload, setup, scale);
+            row.push_back(
+                TextTable::num(
+                    run.metrics.speedupOver(base.metrics), 2) +
+                "x");
+        }
+        t.addRow(row);
+    }
+
+    std::printf("speedup over baseline:\n%s\n", t.str().c_str());
+    std::printf(
+        "Read along a row for latency sensitivity (Fig 10);\n"
+        "read down a column for capacity sensitivity (Fig 12).\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Quickstart: run one workload through the full StarNUMA pipeline
+ * (trace capture -> trace simulation -> timing simulation) on both
+ * the baseline 16-socket system and StarNUMA, and print the
+ * headline comparison.
+ *
+ *   ./example_quickstart [workload]   (default: bfs)
+ *
+ * Workloads: sssp bfs cc tc masstree tpcc fmi poa
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "driver/experiment.hh"
+#include "sim/table.hh"
+
+using namespace starnuma;
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = argc > 1 ? argv[1] : "bfs";
+
+    SimScale scale = SimScale::sc1();
+    scale.phases = 4; // one less phase than the benches: quicker
+
+    std::printf("capturing '%s' (64 threads, %d phases)...\n",
+                workload.c_str(), scale.phases);
+
+    auto base = driver::runExperiment(
+        workload, driver::SystemSetup::baseline(), scale);
+    auto star = driver::runExperiment(
+        workload, driver::SystemSetup::starnuma(), scale);
+
+    TextTable t({"metric", "baseline", "starnuma"});
+    t.addRow({"per-core IPC",
+              TextTable::num(base.metrics.ipc, 3),
+              TextTable::num(star.metrics.ipc, 3)});
+    t.addRow({"AMAT (ns)",
+              TextTable::num(base.metrics.amatNs(), 0),
+              TextTable::num(star.metrics.amatNs(), 0)});
+    t.addRow({"unloaded AMAT (ns)",
+              TextTable::num(base.metrics.unloadedAmatNs(), 0),
+              TextTable::num(star.metrics.unloadedAmatNs(), 0)});
+    t.addRow({"2-hop access share",
+              TextTable::pct(base.metrics.mix[2]),
+              TextTable::pct(star.metrics.mix[2])});
+    t.addRow({"pool access share",
+              TextTable::pct(base.metrics.mix[3]),
+              TextTable::pct(star.metrics.mix[3])});
+    t.addRow({"migrations to pool", "-",
+              TextTable::pct(
+                  star.placement.poolMigrationFraction, 0)});
+    std::printf("\n%s\n", t.str().c_str());
+
+    std::printf("StarNUMA speedup over baseline: %.2fx\n",
+                star.metrics.speedupOver(base.metrics));
+    return 0;
+}

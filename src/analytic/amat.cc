@@ -1,0 +1,86 @@
+#include "analytic/amat.hh"
+
+namespace starnuma
+{
+namespace analytic
+{
+
+std::vector<LatencyComponent>
+cxlLatencyBreakdown(const topology::SystemConfig &config)
+{
+    // Fig 3's roundtrip components. The base configuration sums to
+    // the paper's 100 ns overhead; variants (e.g. the switched
+    // pool) scale the residual path.
+    double total_overhead = 2 * config.cxlOneWayNs;
+    double ports = 50.0;   // CPU + MHD CXL ports, 25 ns each
+    double retimer = 20.0; // one retimer, roundtrip
+    double flight = 10.0;  // ~5 ns per direction
+    double mhd = 20.0;     // on-MHD network, arbitration, directory
+    double rest = total_overhead - (ports + retimer + flight + mhd);
+    std::vector<LatencyComponent> parts = {
+        {"CXL ports (CPU + MHD)", ports},
+        {"retimer", retimer},
+        {"link flight time", flight},
+        {"MHD internals (NoC, arbitration, directory)", mhd},
+    };
+    if (rest > 0.01)
+        parts.push_back({"CXL switch / extra path", rest});
+    return parts;
+}
+
+double
+poolAccessLatencyNs(const topology::SystemConfig &config)
+{
+    return config.poolNs();
+}
+
+double
+averageThreeHopNs(const topology::Topology &topo)
+{
+    // Average cumulative latency of the three traversed links over
+    // all possible (R, H, O) combinations (§III-C).
+    double sum = 0;
+    long count = 0;
+    int n = topo.sockets();
+    for (NodeId r = 0; r < n; ++r) {
+        for (NodeId h = 0; h < n; ++h) {
+            for (NodeId o = 0; o < n; ++o) {
+                if (r == h || h == o || o == r)
+                    continue;
+                Cycles c = topo.unloadedOneWay(r, h) +
+                           topo.unloadedOneWay(h, o) +
+                           topo.unloadedOneWay(o, r);
+                sum += cyclesToNs(c);
+                ++count;
+            }
+        }
+    }
+    return count ? sum / count : 0.0;
+}
+
+double
+fourHopViaPoolNs(const topology::Topology &topo)
+{
+    // R -> H(pool) -> O -> H -> R: four CXL one-way crossings.
+    return 4 * cyclesToNs(topo.unloadedOneWay(0, topo.poolNode()));
+}
+
+double
+firstOrderAmatNs(const topology::SystemConfig &config,
+                 double shared_fraction, bool pooled)
+{
+    double local = config.localNs();
+    // Uniformly distributed across sockets: within the target set,
+    // (chassis size)/(sockets) land intra-chassis, rest cross.
+    double intra = static_cast<double>(config.socketsPerChassis) /
+                   config.sockets;
+    // §II-C pools the costly inter-chassis portion ("the latency of
+    // inter-chassis accesses can be halved"); intra-chassis
+    // accesses keep using their single UPI hop.
+    double far = pooled ? config.poolNs() : config.twoHopNs();
+    double shared = intra * config.oneHopNs() + (1 - intra) * far;
+    return (1 - shared_fraction) * local + shared_fraction * shared;
+}
+
+} // namespace analytic
+} // namespace starnuma

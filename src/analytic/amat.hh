@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Closed-form latency analytics: the first-order AMAT estimate of
+ * §II-C, the CXL pool latency breakdown of Fig 3, and the average
+ * 3-hop vs 4-hop block-transfer latencies of §III-C / Fig 4,
+ * derived from the topology's unloaded link latencies.
+ */
+
+#ifndef STARNUMA_ANALYTIC_AMAT_HH
+#define STARNUMA_ANALYTIC_AMAT_HH
+
+#include <string>
+#include <vector>
+
+#include "topology/topology.hh"
+
+namespace starnuma
+{
+namespace analytic
+{
+
+/** One component of the Fig 3 latency breakdown. */
+struct LatencyComponent
+{
+    std::string name;
+    double ns;
+};
+
+/** Fig 3: the CXL memory pool access latency breakdown. */
+std::vector<LatencyComponent> cxlLatencyBreakdown(
+    const topology::SystemConfig &config);
+
+/** Total pool access latency (sums the Fig 3 components + DRAM). */
+double poolAccessLatencyNs(const topology::SystemConfig &config);
+
+/**
+ * §III-C: average unloaded 3-hop block-transfer network latency
+ * over all (R, H, O) socket combinations with R, H, O pairwise
+ * distinct (paper: 333 ns on the 16-socket system).
+ */
+double averageThreeHopNs(const topology::Topology &topo);
+
+/**
+ * §III-C: the 4-hop via-pool transfer's network latency — two
+ * roundtrips over two CXL links (paper: 200 ns).
+ */
+double fourHopViaPoolNs(const topology::Topology &topo);
+
+/**
+ * §II-C's worked example: AMAT when @p shared_fraction of accesses
+ * target pages shared by all sockets (uniformly distributed across
+ * sockets) and the rest are local. With @p pooled true the widely
+ * shared accesses go to the pool instead.
+ */
+double firstOrderAmatNs(const topology::SystemConfig &config,
+                        double shared_fraction, bool pooled);
+
+} // namespace analytic
+} // namespace starnuma
+
+#endif // STARNUMA_ANALYTIC_AMAT_HH

@@ -1,0 +1,66 @@
+#include "core/oracle.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace starnuma
+{
+namespace core
+{
+
+std::uint64_t
+OraclePlacement::place(mem::PageMap &pages, bool use_pool,
+                       std::uint64_t pool_capacity_pages,
+                       int pool_sharer_threshold)
+{
+    NodeId pool = stats.sockets();
+
+    struct PoolCandidate
+    {
+        Addr page;
+        std::uint64_t heat;
+        NodeId majority;
+    };
+    std::vector<PoolCandidate> pool_candidates;
+
+    stats.forEach([&](Addr page,
+                      const std::vector<std::uint32_t> &counts) {
+        std::uint64_t total = 0;
+        int sharers = 0;
+        NodeId best = 0;
+        for (int s = 0; s < stats.sockets(); ++s) {
+            total += counts[s];
+            sharers += (counts[s] > 0);
+            if (counts[s] > counts[best])
+                best = s;
+        }
+        if (use_pool && sharers >= pool_sharer_threshold) {
+            pool_candidates.push_back({page, total, best});
+        } else {
+            pages.setHome(page, best);
+        }
+    });
+
+    // Hottest widely shared pages fill the pool first; overflow
+    // falls back to the majority socket.
+    std::sort(pool_candidates.begin(), pool_candidates.end(),
+              [](const PoolCandidate &a, const PoolCandidate &b) {
+                  if (a.heat != b.heat)
+                      return a.heat > b.heat;
+                  return a.page < b.page;
+              });
+
+    std::uint64_t placed = 0;
+    for (const PoolCandidate &c : pool_candidates) {
+        if (placed < pool_capacity_pages) {
+            pages.setHome(c.page, pool);
+            ++placed;
+        } else {
+            pages.setHome(c.page, c.majority);
+        }
+    }
+    return placed;
+}
+
+} // namespace core
+} // namespace starnuma

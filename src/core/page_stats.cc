@@ -1,0 +1,66 @@
+#include "core/page_stats.hh"
+
+#include "sim/logging.hh"
+
+namespace starnuma
+{
+namespace core
+{
+
+PageAccessStats::PageAccessStats(int sockets) : sockets_(sockets)
+{
+    sn_assert(sockets > 0, "need at least one socket");
+}
+
+void
+PageAccessStats::record(Addr page, NodeId socket)
+{
+    sn_assert(socket >= 0 && socket < sockets_,
+              "access by unknown socket %d", socket);
+    auto it = counts.find(page);
+    if (it == counts.end())
+        it = counts.emplace(page,
+                            std::vector<std::uint32_t>(sockets_, 0))
+                 .first;
+    ++it->second[socket];
+}
+
+std::uint64_t
+PageAccessStats::totalAccesses(Addr page) const
+{
+    auto it = counts.find(page);
+    if (it == counts.end())
+        return 0;
+    std::uint64_t total = 0;
+    for (auto c : it->second)
+        total += c;
+    return total;
+}
+
+int
+PageAccessStats::sharers(Addr page) const
+{
+    auto it = counts.find(page);
+    if (it == counts.end())
+        return 0;
+    int n = 0;
+    for (auto c : it->second)
+        n += (c > 0);
+    return n;
+}
+
+NodeId
+PageAccessStats::majoritySocket(Addr page) const
+{
+    auto it = counts.find(page);
+    if (it == counts.end())
+        return -1;
+    NodeId best = 0;
+    for (int s = 1; s < sockets_; ++s)
+        if (it->second[s] > it->second[best])
+            best = s;
+    return it->second[best] > 0 ? best : -1;
+}
+
+} // namespace core
+} // namespace starnuma

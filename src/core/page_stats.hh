@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Per-page, per-socket access counting. This is the "zero-cost
+ * per-socket knowledge of all accesses to every 4KB page" the paper
+ * grants the baseline's migration policy (§IV-C), and the input to
+ * the oracular static placement of §V-B. It is deliberately *not*
+ * hardware-feasible — that is the point of the comparison with
+ * StarNUMA's region-granular T_i trackers.
+ */
+
+#ifndef STARNUMA_CORE_PAGE_STATS_HH
+#define STARNUMA_CORE_PAGE_STATS_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace starnuma
+{
+namespace core
+{
+
+/** Exact per-socket access counts for every touched page. */
+class PageAccessStats
+{
+  public:
+    explicit PageAccessStats(int sockets);
+
+    /** Count one access to page number @p page by @p socket. */
+    void record(Addr page, NodeId socket);
+
+    /** Total accesses to @p page across sockets. */
+    std::uint64_t totalAccesses(Addr page) const;
+
+    /** Number of distinct sockets that accessed @p page. */
+    int sharers(Addr page) const;
+
+    /** Socket with the most accesses to @p page (-1 if untouched). */
+    NodeId majoritySocket(Addr page) const;
+
+    /** Pages with at least one access. */
+    std::size_t touchedPages() const { return counts.size(); }
+
+    int sockets() const { return sockets_; }
+
+    /** Visit (page, per-socket counts) for every touched page. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &[page, c] : counts)
+            fn(page, c);
+    }
+
+    void reset() { counts.clear(); }
+
+  private:
+    int sockets_;
+    std::unordered_map<Addr, std::vector<std::uint32_t>> counts;
+};
+
+} // namespace core
+} // namespace starnuma
+
+#endif // STARNUMA_CORE_PAGE_STATS_HH

@@ -1,0 +1,70 @@
+#include "core/perfect_policy.hh"
+
+#include <algorithm>
+
+namespace starnuma
+{
+namespace core
+{
+
+PerfectPagePolicy::PerfectPagePolicy(
+    int sockets, std::uint32_t migration_limit_pages,
+    std::uint32_t min_accesses)
+    : stats(sockets), limit(migration_limit_pages),
+      minAccesses(min_accesses), migrated_(0)
+{
+}
+
+std::vector<PageMigration>
+PerfectPagePolicy::decidePhase(mem::PageMap &pages)
+{
+    struct Candidate
+    {
+        Addr page;
+        NodeId from;
+        NodeId to;
+        std::uint64_t heat;
+    };
+
+    std::vector<Candidate> candidates;
+    stats.forEach([&](Addr page,
+                      const std::vector<std::uint32_t> &counts) {
+        std::uint64_t total = 0;
+        NodeId best = 0;
+        for (int s = 0; s < stats.sockets(); ++s) {
+            total += counts[s];
+            if (counts[s] > counts[best])
+                best = s;
+        }
+        if (total < minAccesses)
+            return;
+        NodeId curr = pages.home(page);
+        if (curr == mem::invalidNode || curr == best)
+            return;
+        candidates.push_back({page, curr, best, total});
+    });
+
+    // Perfect knowledge lets the baseline spend its budget on the
+    // pages where it matters most.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  if (a.heat != b.heat)
+                      return a.heat > b.heat;
+                  return a.page < b.page;
+              });
+    if (candidates.size() > limit)
+        candidates.resize(limit);
+
+    std::vector<PageMigration> plan;
+    plan.reserve(candidates.size());
+    for (const Candidate &c : candidates) {
+        pages.setHome(c.page, c.to);
+        plan.push_back({c.page, c.from, c.to});
+        ++migrated_;
+    }
+    stats.reset();
+    return plan;
+}
+
+} // namespace core
+} // namespace starnuma

@@ -1,0 +1,83 @@
+#include "core/region_tracker.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace starnuma
+{
+namespace core
+{
+
+const TrackerEntry RegionTracker::zeroEntry{};
+
+int
+TrackerEntry::sharerCount() const
+{
+    return std::popcount(sharerMask);
+}
+
+RegionTracker::RegionTracker(int counter_bits, int sockets,
+                             Addr region_bytes)
+    : counterBits_(counter_bits), sockets(sockets),
+      regionBytes_(region_bytes)
+{
+    sn_assert(counter_bits >= 0 && counter_bits <= 32,
+              "tracker counter width %d out of range", counter_bits);
+    sn_assert(sockets > 0 && sockets <= 64, "too many sockets");
+    sn_assert(region_bytes >= pageBytes &&
+                  region_bytes % pageBytes == 0,
+              "region size must be a multiple of the page size");
+    counterMax =
+        counter_bits == 0
+            ? 0
+            : static_cast<std::uint32_t>((1ULL << counter_bits) - 1);
+}
+
+int
+RegionTracker::pagesPerRegion() const
+{
+    return static_cast<int>(regionBytes_ / pageBytes);
+}
+
+void
+RegionTracker::record(Addr addr, NodeId socket, std::uint32_t count)
+{
+    sn_assert(socket >= 0 && socket < sockets,
+              "record from unknown socket %d", socket);
+    TrackerEntry &e = entries[regionOf(addr)];
+    e.sharerMask |= 1ULL << socket;
+    if (counterBits_ > 0) {
+        std::uint64_t next =
+            static_cast<std::uint64_t>(e.accesses) + count;
+        e.accesses = next > counterMax
+                         ? counterMax
+                         : static_cast<std::uint32_t>(next);
+    }
+}
+
+const TrackerEntry &
+RegionTracker::entry(RegionId region) const
+{
+    auto it = entries.find(region);
+    return it == entries.end() ? zeroEntry : it->second;
+}
+
+std::uint64_t
+RegionTracker::entryBytes() const
+{
+    // Presence bits (one per socket) plus the i-bit counter,
+    // rounded up to whole bytes.
+    return (sockets + counterBits_ + 7) / 8;
+}
+
+std::uint64_t
+RegionTracker::metadataBytes(std::uint64_t total_memory) const
+{
+    std::uint64_t regions =
+        (total_memory + regionBytes_ - 1) / regionBytes_;
+    return regions * entryBytes();
+}
+
+} // namespace core
+} // namespace starnuma

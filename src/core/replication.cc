@@ -1,0 +1,89 @@
+#include "core/replication.hh"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace starnuma
+{
+namespace core
+{
+
+ReplicationPlan
+planReplication(const trace::WorkloadTrace &trace,
+                int cores_per_socket, int sockets,
+                const ReplicationConfig &config)
+{
+    sn_assert(cores_per_socket > 0 && sockets > 0,
+              "bad replication shape");
+
+    struct PageInfo
+    {
+        std::uint64_t sharerMask = 0;
+        std::uint64_t accesses = 0;
+    };
+    std::unordered_map<Addr, PageInfo> pages;
+    for (int t = 0; t < trace.threads; ++t) {
+        NodeId socket = t / cores_per_socket;
+        for (const auto &r : trace.perThread[t]) {
+            PageInfo &p = pages[pageNumber(r.vaddr())];
+            p.sharerMask |= 1ULL << socket;
+            ++p.accesses;
+        }
+    }
+    std::unordered_set<Addr> written(trace.writtenPages.begin(),
+                                     trace.writtenPages.end());
+
+    struct Candidate
+    {
+        Addr page;
+        int sharers;
+        std::uint64_t accesses;
+    };
+    std::vector<Candidate> candidates;
+    ReplicationPlan plan;
+    for (const auto &[page, info] : pages) {
+        int sharers = std::popcount(info.sharerMask);
+        if (sharers < config.sharerThreshold)
+            continue;
+        if (written.count(page)) {
+            ++plan.rejectedReadWrite;
+            continue;
+        }
+        candidates.push_back({page, sharers, info.accesses});
+    }
+
+    // Hottest (by access count) first: replication capacity goes
+    // where it pays the most.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  if (a.accesses != b.accesses)
+                      return a.accesses > b.accesses;
+                  return a.page < b.page;
+              });
+
+    std::uint64_t footprint_pages =
+        trace.footprintBytes / pageBytes;
+    double budget_pages = footprint_pages * config.capacityBudget;
+    double replica_pages = 0;
+    for (const Candidate &c : candidates) {
+        // One extra copy per sharer beyond the home copy.
+        double cost = c.sharers - 1;
+        if (replica_pages + cost > budget_pages) {
+            ++plan.rejectedCapacity;
+            continue;
+        }
+        replica_pages += cost;
+        plan.replicated.insert(c.page);
+    }
+    plan.capacityOverhead =
+        footprint_pages ? replica_pages / footprint_pages : 0.0;
+    return plan;
+}
+
+} // namespace core
+} // namespace starnuma

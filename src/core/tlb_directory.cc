@@ -1,0 +1,78 @@
+#include "core/tlb_directory.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace starnuma
+{
+namespace core
+{
+
+int
+TlbHolderMask::count() const
+{
+    int n = 0;
+    for (auto w : words)
+        n += std::popcount(w);
+    return n;
+}
+
+TlbDirectory::TlbDirectory(int cores) : cores(cores)
+{
+    sn_assert(cores > 0 && cores <= 256,
+              "TLB directory bit-set supports up to 256 cores");
+}
+
+void
+TlbDirectory::fill(Addr page, int core)
+{
+    sn_assert(core >= 0 && core < cores, "fill by unknown core %d",
+              core);
+    map[page].set(core);
+}
+
+void
+TlbDirectory::evict(Addr page, int core)
+{
+    auto it = map.find(page);
+    if (it == map.end())
+        return;
+    it->second.clear(core);
+    if (!it->second.any())
+        map.erase(it);
+}
+
+TlbHolderMask
+TlbDirectory::holders(Addr page) const
+{
+    auto it = map.find(page);
+    return it == map.end() ? TlbHolderMask{} : it->second;
+}
+
+int
+TlbDirectory::holderCount(Addr page) const
+{
+    return holders(page).count();
+}
+
+int
+TlbDirectory::shootdown(Addr page)
+{
+    int targeted = holderCount(page);
+    map.erase(page);
+    sent_ += targeted;
+    saved_ += cores - targeted;
+    return targeted;
+}
+
+double
+TlbDirectory::savingsRatio()
+const
+{
+    std::uint64_t total = sent_ + saved_;
+    return total ? static_cast<double>(saved_) / total : 0.0;
+}
+
+} // namespace core
+} // namespace starnuma

@@ -1,0 +1,65 @@
+#include "driver/experiment.hh"
+
+#include <map>
+#include <utility>
+
+#include "sim/logging.hh"
+#include "workloads/workload.hh"
+
+namespace starnuma
+{
+namespace driver
+{
+
+const trace::WorkloadTrace &
+workloadTrace(const std::string &name, const SimScale &scale)
+{
+    using Key = std::pair<std::string, std::string>;
+    static std::map<Key, trace::WorkloadTrace> memo;
+
+    std::string scale_key =
+        std::to_string(scale.threads()) + ":" +
+        std::to_string(scale.phases) + ":" +
+        std::to_string(scale.phaseInstructions);
+    Key key{name, scale_key};
+    auto it = memo.find(key);
+    if (it == memo.end()) {
+        it = memo.emplace(key,
+                          workloads::captureWorkload(name, scale))
+                 .first;
+    }
+    return it->second;
+}
+
+ExperimentResult
+runExperiment(const std::string &workload, const SystemSetup &setup,
+              const SimScale &scale)
+{
+    const trace::WorkloadTrace &trace = workloadTrace(workload, scale);
+
+    TraceSim trace_sim(setup, scale);
+    ExperimentResult result;
+    result.placement = trace_sim.run(trace);
+
+    TimingSim timing(setup, scale);
+    result.metrics = timing.run(trace, result.placement);
+    return result;
+}
+
+RunMetrics
+runSingleSocket(const std::string &workload, const SimScale &scale)
+{
+    const trace::WorkloadTrace &trace = workloadTrace(workload, scale);
+
+    SystemSetup setup = SystemSetup::baseline();
+    TraceSim trace_sim(setup, scale);
+    TraceSimResult placement = trace_sim.run(trace);
+
+    TimingOptions options;
+    options.singleSocketLocal = true;
+    TimingSim timing(setup, scale, options);
+    return timing.run(trace, placement);
+}
+
+} // namespace driver
+} // namespace starnuma

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Top-level experiment API: runs the full three-step pipeline
+ * (capture -> trace simulation -> timing simulation) for one
+ * (workload, system) pair and returns the aggregated metrics.
+ * Traces are memoized per process (and optionally on disk via
+ * STARNUMA_TRACE_DIR), so sweeping system configurations over the
+ * same workload only captures once — mirroring how the paper reuses
+ * step-A traces across all evaluated systems.
+ */
+
+#ifndef STARNUMA_DRIVER_EXPERIMENT_HH
+#define STARNUMA_DRIVER_EXPERIMENT_HH
+
+#include <string>
+
+#include "driver/metrics.hh"
+#include "driver/system_setup.hh"
+#include "driver/timing_sim.hh"
+#include "driver/trace_sim.hh"
+#include "sim/scale.hh"
+#include "trace/trace.hh"
+
+namespace starnuma
+{
+namespace driver
+{
+
+/** Metrics plus the placement decisions that produced them. */
+struct ExperimentResult
+{
+    RunMetrics metrics;
+    TraceSimResult placement;
+};
+
+/** Memoized step-A capture for (workload, scale). */
+const trace::WorkloadTrace &workloadTrace(const std::string &name,
+                                          const SimScale &scale);
+
+/** Run the full pipeline for one configuration. */
+ExperimentResult runExperiment(const std::string &workload,
+                               const SystemSetup &setup,
+                               const SimScale &scale =
+                                   SimScale::sc1());
+
+/**
+ * The Table III reference point: the workload's detailed socket
+ * executing with all pages in local memory.
+ */
+RunMetrics runSingleSocket(const std::string &workload,
+                           const SimScale &scale = SimScale::sc1());
+
+} // namespace driver
+} // namespace starnuma
+
+#endif // STARNUMA_DRIVER_EXPERIMENT_HH

@@ -1,0 +1,39 @@
+#include "driver/metrics.hh"
+
+namespace starnuma
+{
+namespace driver
+{
+
+const char *
+accessTypeName(AccessType t)
+{
+    switch (t) {
+      case AccessType::Local:    return "local";
+      case AccessType::OneHop:   return "1-hop";
+      case AccessType::TwoHop:   return "2-hop";
+      case AccessType::Pool:     return "pool";
+      case AccessType::BtSocket: return "BT_Socket";
+      case AccessType::BtPool:   return "BT_Pool";
+      default:                   return "?";
+    }
+}
+
+double
+unloadedLatencyNs(AccessType t)
+{
+    // §V-A's analytic constants: local/1-hop/2-hop/pool plus block
+    // transfers at network traversal + 80 ns memory & directory.
+    switch (t) {
+      case AccessType::Local:    return 80.0;
+      case AccessType::OneHop:   return 130.0;
+      case AccessType::TwoHop:   return 360.0;
+      case AccessType::Pool:     return 180.0;
+      case AccessType::BtSocket: return 413.0;
+      case AccessType::BtPool:   return 280.0;
+      default:                   return 0.0;
+    }
+}
+
+} // namespace driver
+} // namespace starnuma

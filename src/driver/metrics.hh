@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Result metrics of one (workload, system) simulation: IPC, the
+ * AMAT decomposition of Fig 8b (measured latency vs analytically
+ * derived unloaded latency), the memory-access-type breakdown of
+ * Fig 8c, and migration/coherence statistics (Table IV, §V-A).
+ */
+
+#ifndef STARNUMA_DRIVER_METRICS_HH
+#define STARNUMA_DRIVER_METRICS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace starnuma
+{
+namespace driver
+{
+
+/** Memory access categories of Fig 8c. */
+enum class AccessType
+{
+    Local,    ///< 80 ns unloaded
+    OneHop,   ///< 130 ns
+    TwoHop,   ///< 360 ns
+    Pool,     ///< 180 ns
+    BtSocket, ///< 3-hop coherence transfer, 413 ns
+    BtPool,   ///< 4-hop via-pool transfer, 280 ns
+    Count
+};
+
+constexpr int accessTypes = static_cast<int>(AccessType::Count);
+
+/** Printable name of an access type. */
+const char *accessTypeName(AccessType t);
+
+/** Unloaded end-to-end latency of an access type in ns (§V-A). */
+double unloadedLatencyNs(AccessType t);
+
+/** Aggregated results of one simulated configuration. */
+struct RunMetrics
+{
+    // --- performance ---
+    std::uint64_t instructions = 0; ///< detailed-socket instructions
+    Cycles cycles = 0;              ///< detailed-socket core-cycles
+    double ipc = 0.0;               ///< per-core IPC, detailed socket
+
+    // --- memory behaviour ---
+    std::uint64_t memAccesses = 0; ///< LLC misses (all sockets)
+    std::uint64_t llcHits = 0;
+    std::uint64_t detailedMisses = 0; ///< detailed socket only
+    double llcMpki = 0.0; ///< detailed-socket misses per kilo-instr
+
+    /** Measured mean memory access latency, cycles. */
+    double amatCycles = 0.0;
+
+    /** Analytic unloaded AMAT from the access mix, cycles. */
+    double unloadedAmatCycles = 0.0;
+
+    /** Access-type mix (fractions summing to ~1). */
+    std::array<double, accessTypes> mix{};
+
+    /** Mean measured latency per access type, cycles. */
+    std::array<double, accessTypes> typeLatency{};
+
+    /** Mean page-migration stall folded into AMAT, cycles. */
+    double migrationStallCycles = 0.0;
+
+    // --- interconnect / memory diagnostics ---
+    double upiUtilization = 0.0;      ///< mean over directions
+    double numalinkUtilization = 0.0;
+    double cxlUtilization = 0.0;
+    double maxLinkUtilization = 0.0;  ///< hottest direction
+    double meanLinkQueueNs = 0.0;     ///< per traversal
+    double meanDramQueueNs = 0.0;
+
+    // --- migration / coherence ---
+    std::uint64_t migratedPages = 0;
+    double poolMigrationFraction = 0.0;
+    std::uint64_t coherenceTransactions = 0;
+    std::uint64_t blockTransfers = 0;
+    std::uint64_t shootdownPages = 0;
+
+    double amatNs() const { return cyclesToNs(amatCycles); }
+    double unloadedAmatNs() const
+    {
+        return cyclesToNs(unloadedAmatCycles);
+    }
+    double
+    contentionNs() const
+    {
+        return amatNs() - unloadedAmatNs();
+    }
+
+    /** Speedup of this run over @p baseline (IPC ratio). */
+    double
+    speedupOver(const RunMetrics &baseline) const
+    {
+        return baseline.ipc > 0 ? ipc / baseline.ipc : 0.0;
+    }
+};
+
+} // namespace driver
+} // namespace starnuma
+
+#endif // STARNUMA_DRIVER_METRICS_HH

@@ -1,0 +1,109 @@
+#include "driver/system_setup.hh"
+
+namespace starnuma
+{
+namespace driver
+{
+
+namespace
+{
+
+SystemSetup
+make(const char *name, topology::SystemConfig sys, bool pool)
+{
+    SystemSetup s;
+    s.name = name;
+    s.sys = std::move(sys);
+    s.migration.poolEnabled = pool;
+    return s;
+}
+
+} // anonymous namespace
+
+SystemSetup
+SystemSetup::baseline()
+{
+    return make("baseline", topology::SystemConfig::baseline16(),
+                false);
+}
+
+SystemSetup
+SystemSetup::starnuma()
+{
+    return make("starnuma-t16", topology::SystemConfig::starnuma16(),
+                true);
+}
+
+SystemSetup
+SystemSetup::starnumaT0()
+{
+    SystemSetup s = make("starnuma-t0",
+                         topology::SystemConfig::starnuma16(), true);
+    s.migration.counterBits = 0;
+    return s;
+}
+
+SystemSetup
+SystemSetup::starnumaSwitched()
+{
+    return make("starnuma-switched",
+                topology::SystemConfig::starnumaSwitched(), true);
+}
+
+SystemSetup
+SystemSetup::baselineIsoBW()
+{
+    return make("baseline-iso-bw",
+                topology::SystemConfig::baselineIsoBW(), false);
+}
+
+SystemSetup
+SystemSetup::baseline2xBW()
+{
+    return make("baseline-2x-bw",
+                topology::SystemConfig::baseline2xBW(), false);
+}
+
+SystemSetup
+SystemSetup::starnumaHalfBW()
+{
+    return make("starnuma-half-bw",
+                topology::SystemConfig::starnumaHalfBW(), true);
+}
+
+SystemSetup
+SystemSetup::starnumaSmallPool()
+{
+    return make("starnuma-small-pool",
+                topology::SystemConfig::starnumaSmallPool(), true);
+}
+
+SystemSetup
+SystemSetup::baselineStatic()
+{
+    SystemSetup s = baseline();
+    s.name = "baseline-static-oracle";
+    s.placement = Placement::StaticOracle;
+    return s;
+}
+
+SystemSetup
+SystemSetup::starnumaStatic()
+{
+    SystemSetup s = starnuma();
+    s.name = "starnuma-static-oracle";
+    s.placement = Placement::StaticOracle;
+    return s;
+}
+
+SystemSetup
+SystemSetup::baselineReplication()
+{
+    SystemSetup s = baseline();
+    s.name = "baseline-replication";
+    s.replicateReadOnly = true;
+    return s;
+}
+
+} // namespace driver
+} // namespace starnuma

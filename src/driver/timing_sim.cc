@@ -1,0 +1,937 @@
+#include "driver/timing_sim.hh"
+
+#include <algorithm>
+#include <future>
+#include <memory>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/replication.hh"
+#include "core/shootdown.hh"
+#include "mem/cache.hh"
+#include "mem/directory.hh"
+#include "mem/dram.hh"
+#include "mem/page_map.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+#include "topology/topology.hh"
+
+namespace starnuma
+{
+namespace driver
+{
+
+namespace
+{
+
+/** Cycles between light-core pacing updates. */
+constexpr Cycles pacerPeriod = 20000;
+
+/** Every Nth miss issues a tracker-metadata update write (§IV-C:
+ *  "we model the additional memory traffic required for tracker
+ *  updates"); approximates the PTW's annex flush rate. */
+constexpr std::uint64_t metadataWritePeriod = 32;
+
+/** Page data is streamed in chunks of this many blocks. */
+constexpr int migrationChunkBlocks = 4;
+
+/**
+ * Hardware state that persists across the run's phases: caches and
+ * directory stay warm (the phases of one workload run on the same
+ * machine); link and DRAM queue occupancy is reset per phase since
+ * checkpoints are far apart in time.
+ */
+struct MachineState
+{
+    MachineState(const SystemSetup &setup, const SimScale &scale,
+                 const CoreModel &core)
+        : topo(setup.sys), directory(setup.sys.sockets),
+          pages(setup.sys.sockets + (setup.sys.hasPool ? 1 : 0))
+    {
+        mem::CacheConfig llc_cfg{
+            static_cast<Addr>(scale.coresPerSocket) *
+                core.llcBytesPerCore,
+            16};
+        mem::DramConfig dram_cfg;
+        dram_cfg.accessNs = setup.sys.dramNs;
+        for (int s = 0; s < setup.sys.sockets; ++s) {
+            llcs.emplace_back(llc_cfg);
+            mcs.emplace_back(setup.sys.channelsPerSocket, dram_cfg);
+        }
+        if (setup.sys.hasPool)
+            mcs.emplace_back(setup.sys.poolChannels, dram_cfg);
+    }
+
+    void
+    newPhase(const Checkpoint &checkpoint)
+    {
+        topo.resetContention();
+        for (auto &mc : mcs)
+            mc.resetContention();
+        for (const auto &[page, home] : checkpoint.pageHome)
+            pages.setHome(page, home);
+        migrating.clear();
+    }
+
+    topology::Topology topo;
+    std::vector<mem::Cache> llcs;
+    std::vector<mem::MemoryController> mcs;
+    mem::Directory directory;
+    mem::PageMap pages;
+    std::unordered_map<Addr, Cycles> migrating;
+    // Mutable copy of the §V-F replication set: a write to a
+    // replicated page de-replicates it for the rest of the run.
+    std::unordered_set<Addr> replicated;
+};
+
+/**
+ * One phase's event-driven simulation. Every resource (link
+ * direction, DRAM bank/bus) is claimed by an event executing at the
+ * moment the request actually reaches it, so the fluid queues see
+ * arrivals in true time order.
+ */
+class PhaseSim
+{
+  public:
+    PhaseSim(const SystemSetup &setup, const SimScale &scale,
+             const TimingOptions &options, const CoreModel &core,
+             const trace::WorkloadTrace &trace,
+             const Checkpoint &checkpoint, int phase,
+             MachineState &machine);
+
+    void run();
+
+    /** Fold this phase's post-warmup stats into @p m. */
+    void accumulate(RunMetrics &m) const;
+
+    /** Simulated cycles this phase covered. */
+    Cycles horizon() const { return endCycle; }
+
+  private:
+    struct Outstanding
+    {
+        std::uint64_t instr;
+        Cycles done = 0;
+        bool complete = false;
+    };
+
+    struct CoreState
+    {
+        ThreadId thread = 0;
+        NodeId socket = 0;
+        bool detailed = false;
+        std::size_t idx = 0; ///< next record
+        std::size_t end = 0;
+        std::uint64_t lastInstr = 0;
+        Cycles readyTime = 0; ///< compute-pacing issue point
+        bool blocked = false; ///< stalled on oldest outstanding
+        bool issuePending = false; ///< an issue event is scheduled
+        bool done = false;
+        Cycles doneCycle = 0;
+        Cycles warmupCycle = 0;
+        bool warmupCrossed = false;
+        std::deque<Outstanding> pending;
+    };
+
+    // --- core actors ---
+    void scheduleIssue(CoreState &c, Cycles when);
+    void issueNext(CoreState &c);
+    void onComplete(CoreState &c, std::uint64_t instr, Cycles done,
+                    AccessType type, bool count_stats,
+                    Cycles issued);
+    bool frontBlocks(const CoreState &c,
+                     std::uint64_t next_instr) const;
+    void finishCore(CoreState &c);
+    void pace();
+    bool allDetailedDone() const;
+
+    // --- memory system (asynchronous request path) ---
+    /** Start a miss's journey; completion is an event at 'done'. */
+    void startMiss(CoreState &c, Addr vaddr, bool write,
+                   std::uint64_t instr, bool count_stats);
+    void missAfterStall(CoreState &c, Addr vaddr, bool write,
+                        std::uint64_t instr, bool count_stats,
+                        Cycles issued);
+    void finishMiss(CoreState &c, std::uint64_t instr,
+                    AccessType type, bool count_stats,
+                    Cycles issued, Cycles done);
+
+    void applyMigration(Cycles t, Addr first_page, int pages_n,
+                        NodeId from, NodeId to);
+
+    const SystemSetup &setup;
+    const SimScale &scale;
+    const TimingOptions &options;
+    const CoreModel &core;
+    const trace::WorkloadTrace &trace;
+
+    std::uint64_t windowStart;
+    std::uint64_t windowEnd;
+    std::uint64_t warmupInstr;
+
+    EventQueue q;
+    MachineState &machine;
+    topology::Topology &topo;
+    std::vector<mem::Cache> &llcs;
+    std::vector<mem::MemoryController> &mcs;
+    mem::Directory &directory;
+    mem::PageMap &pages;
+    std::unordered_map<Addr, Cycles> &migrating;
+    std::vector<CoreState> cores;
+    double lightCpi;
+    std::uint64_t lastPaceInstr = 0;
+    Cycles lastPaceCycle = 0;
+    std::uint64_t missCount = 0;
+    bool stop = false;
+
+    // Post-warmup statistics.
+    std::uint64_t statInstructions = 0;
+    Cycles statCycles = 0;
+    std::uint64_t statLlcHits = 0;
+    std::uint64_t statDetailedMisses = 0;
+    std::array<std::uint64_t, accessTypes> statMix{};
+    std::array<stats::Mean, accessTypes> statTypeLatency;
+    stats::Mean statLatency;
+    stats::Mean statMigStall;
+    std::uint64_t statShootdownPages = 0;
+    std::uint64_t statCoherence0 = 0;
+    Cycles endCycle = 0;
+};
+
+PhaseSim::PhaseSim(const SystemSetup &setup, const SimScale &scale,
+                   const TimingOptions &options,
+                   const CoreModel &core,
+                   const trace::WorkloadTrace &trace,
+                   const Checkpoint &checkpoint, int phase,
+                   MachineState &machine)
+    : setup(setup), scale(scale), options(options), core(core),
+      trace(trace), machine(machine), topo(machine.topo),
+      llcs(machine.llcs), mcs(machine.mcs),
+      directory(machine.directory), pages(machine.pages),
+      migrating(machine.migrating), lightCpi(core.baseCpi * 2)
+{
+    machine.newPhase(checkpoint);
+    statCoherence0 = directory.transactions();
+
+    windowStart = static_cast<std::uint64_t>(phase) *
+                  scale.phaseInstructions;
+    windowEnd = windowStart + scale.detailInstructions();
+    warmupInstr =
+        windowStart + static_cast<std::uint64_t>(
+                          scale.detailInstructions() *
+                          scale.warmupFraction);
+
+    // Cores; the detailed socket is socket 0.
+    int threads = options.singleSocketLocal ? scale.coresPerSocket
+                                            : scale.threads();
+    cores.resize(threads);
+    for (ThreadId t = 0; t < threads; ++t) {
+        CoreState &c = cores[t];
+        c.thread = t;
+        c.socket = t / scale.coresPerSocket;
+        c.detailed = (c.socket == 0);
+        const auto &recs = trace.perThread[t];
+        auto below = [](const trace::MemRecord &r, std::uint64_t v) {
+            return r.instr < v;
+        };
+        c.idx = std::lower_bound(recs.begin(), recs.end(),
+                                 windowStart, below) -
+                recs.begin();
+        c.end = std::lower_bound(recs.begin(), recs.end(), windowEnd,
+                                 below) -
+                recs.begin();
+        c.lastInstr = windowStart;
+    }
+
+    // Modeled migrations: the window covers the first
+    // detailFraction of the phase, so that share of the phase's
+    // migrations is modeled (§IV-C) — additionally capped so the
+    // modeled page-data streams cannot occupy more than ~10% of a
+    // route's time in the window (the remaining migrations still
+    // take effect through the checkpoint's page map, exactly like
+    // the 90% outside the window).
+    int ppr = static_cast<int>(setup.regionBytes / pageBytes);
+    Cycles window_est = static_cast<Cycles>(
+        scale.detailInstructions() * core.baseCpi * 4);
+    Cycles page_stream = serializationCycles(
+        pageBytes + (pageBytes / blockBytes) * 8, 3.0);
+    std::size_t page_budget = std::max<std::size_t>(
+        2, window_est / (10 * page_stream));
+
+    std::size_t n_regions = std::min<std::size_t>(
+        static_cast<std::size_t>(
+            checkpoint.regionMigrations.size() *
+                scale.detailFraction +
+            0.999),
+        std::max<std::size_t>(1, page_budget / ppr));
+    std::size_t n_pages = std::min<std::size_t>(
+        static_cast<std::size_t>(checkpoint.pageMigrations.size() *
+                                     scale.detailFraction +
+                                 0.999),
+        page_budget);
+    if (checkpoint.regionMigrations.empty())
+        n_regions = 0;
+    if (checkpoint.pageMigrations.empty())
+        n_pages = 0;
+
+    std::size_t n_migrations = n_regions + n_pages;
+    Cycles spacing =
+        n_migrations ? std::max<Cycles>(
+                           2000, window_est / (n_migrations + 1))
+                     : window_est;
+    Cycles when = spacing;
+    for (std::size_t i = 0; i < n_regions; ++i) {
+        const auto &m = checkpoint.regionMigrations[i];
+        Addr first = m.region * setup.regionBytes / pageBytes;
+        q.schedule(when, [this, first, ppr, m] {
+            applyMigration(q.now(), first, ppr, m.from, m.to);
+        });
+        when += spacing;
+    }
+    when = spacing + 1;
+    for (std::size_t i = 0; i < n_pages; ++i) {
+        const auto &m = checkpoint.pageMigrations[i];
+        q.schedule(when, [this, m] {
+            applyMigration(q.now(), m.page, 1, m.from, m.to);
+        });
+        when += spacing;
+    }
+}
+
+void
+PhaseSim::applyMigration(Cycles t, Addr first_page, int pages_n,
+                         NodeId from, NodeId to)
+{
+    // Shootdowns and the page-map update happen up front; the data
+    // streams over the interconnect chunk by chunk, and accesses to
+    // a page stall until its last chunk has arrived (§IV-C).
+    Addr chunk_bytes =
+        migrationChunkBlocks * (blockBytes + 8);
+    int chunks_per_page =
+        static_cast<int>(pageBytes / blockBytes) /
+        migrationChunkBlocks;
+    Cycles chunk_gap = serializationCycles(
+        chunk_bytes, std::min({setup.sys.upiGbps,
+                               setup.sys.numalinkGbps,
+                               setup.sys.cxlGbps}));
+
+    Cycles chunk_time = t;
+    for (int p = 0; p < pages_n; ++p) {
+        Addr page = first_page + p;
+        if (pages.home(page) == mem::invalidNode)
+            continue;
+        pages.setHome(page, to);
+        ++statShootdownPages;
+        if (options.softwareShootdowns) {
+            // Conventional shootdown: every core takes an IPI and
+            // enters the kernel for every migrated page [64].
+            core::ShootdownModel model;
+            for (CoreState &cs : cores)
+                cs.readyTime = std::max(cs.readyTime, t) +
+                               model.softwareCostPerCore;
+        }
+        Addr byte = page * pageBytes;
+        for (auto &llc : llcs)
+            llc.invalidatePage(byte);
+        for (Addr b = byte; b < byte + pageBytes; b += blockBytes)
+            for (NodeId s = 0; s < setup.sys.sockets; ++s)
+                directory.evict(b, s);
+
+        for (int ch = 0; ch < chunks_per_page; ++ch) {
+            chunk_time += chunk_gap;
+            bool last = (ch == chunks_per_page - 1);
+            q.schedule(chunk_time,
+                       [this, from, to, chunk_bytes, page, last] {
+                           Cycles arr = topo.send(from, to, q.now(),
+                                                  chunk_bytes);
+                           if (last)
+                               migrating[page] = arr;
+                       });
+        }
+        // Conservative availability estimate until the last chunk
+        // lands (replaced by the actual arrival above).
+        migrating[page] =
+            chunk_time + topo.unloadedOneWay(from, to);
+    }
+}
+
+// --- memory system ---
+
+void
+PhaseSim::finishMiss(CoreState &c, std::uint64_t instr,
+                     AccessType type, bool count_stats,
+                     Cycles issued, Cycles done)
+{
+    if (count_stats) {
+        ++statMix[static_cast<int>(type)];
+        statLatency.sample(static_cast<double>(done - issued));
+        statTypeLatency[static_cast<int>(type)].sample(
+            static_cast<double>(done - issued));
+        if (c.detailed)
+            ++statDetailedMisses;
+    }
+    onComplete(c, instr, done, type, count_stats, issued);
+}
+
+void
+PhaseSim::startMiss(CoreState &c, Addr vaddr, bool write,
+                    std::uint64_t instr, bool count_stats)
+{
+    Cycles t = q.now();
+    Addr page = pageNumber(vaddr);
+
+    // Stall while the page's migration is in flight.
+    auto mig = migrating.find(page);
+    if (mig != migrating.end()) {
+        if (mig->second > t) {
+            Cycles resume = mig->second;
+            statMigStall.sample(
+                static_cast<double>(resume - t));
+            q.schedule(resume, [this, &c, vaddr, write, instr,
+                                count_stats, t] {
+                missAfterStall(c, vaddr, write, instr, count_stats,
+                               t);
+            });
+            return;
+        }
+        migrating.erase(mig);
+    }
+    missAfterStall(c, vaddr, write, instr, count_stats, t);
+}
+
+void
+PhaseSim::missAfterStall(CoreState &c, Addr vaddr, bool write,
+                         std::uint64_t instr, bool count_stats,
+                         Cycles issued)
+{
+    Cycles t = q.now();
+    NodeId s = c.socket;
+    Addr block = blockAddr(vaddr);
+    Addr page = pageNumber(vaddr);
+
+    NodeId home =
+        options.singleSocketLocal ? s : pages.touch(page, s);
+
+    // §V-F replication: reads of a replicated page hit the local
+    // replica; a write invalidates every replica (broadcast) and
+    // de-replicates the page.
+    if (!machine.replicated.empty()) {
+        auto rep = machine.replicated.find(page);
+        if (rep != machine.replicated.end()) {
+            if (write) {
+                machine.replicated.erase(rep);
+                for (NodeId x = 0; x < setup.sys.sockets; ++x) {
+                    if (x == s)
+                        continue;
+                    topo.send(s, x, t, topology::ctrlBytes);
+                    llcs[x].invalidatePage(page * pageBytes);
+                }
+            } else {
+                home = s;
+            }
+        }
+    }
+
+    auto coh = directory.access(block, s, write, home);
+    if (coh.invalidatedMask) {
+        for (NodeId x = 0; x < setup.sys.sockets; ++x)
+            if (coh.invalidatedMask & (1ULL << x))
+                llcs[x].invalidate(block);
+    }
+
+    Cycles on_chip = nsToCycles(setup.sys.onChipNs);
+
+    if (coh.blockTransfer && coh.owner != s) {
+        if (coh.viaPool) {
+            // 4-hop R -> H(pool) -> O -> H -> R (Fig 4).
+            NodeId pool = topo.poolNode();
+            NodeId owner = coh.owner;
+            Cycles t1 = topo.send(s, pool, t, topology::ctrlBytes);
+            q.schedule(t1, [this, &c, pool, owner, s, block, instr,
+                            count_stats, issued, on_chip] {
+                Cycles t1m =
+                    mcs[pool].access(q.now() + on_chip, block);
+                q.schedule(t1m, [this, &c, pool, owner, s, instr,
+                                 count_stats, issued] {
+                    Cycles t2 = topo.send(pool, owner, q.now(),
+                                          topology::ctrlBytes);
+                    q.schedule(t2, [this, &c, pool, owner, s, instr,
+                                    count_stats, issued] {
+                        Cycles t3 =
+                            topo.send(owner, pool, q.now(),
+                                      topology::dataBytes);
+                        q.schedule(t3, [this, &c, pool, s, instr,
+                                        count_stats, issued] {
+                            Cycles done =
+                                topo.send(pool, s, q.now(),
+                                          topology::dataBytes);
+                            q.schedule(done, [this, &c, instr,
+                                              count_stats, issued] {
+                                finishMiss(c, instr,
+                                           AccessType::BtPool,
+                                           count_stats, issued,
+                                           q.now());
+                            });
+                        });
+                    });
+                });
+            });
+        } else {
+            // 3-hop R -> H -> O -> R.
+            NodeId owner = coh.owner;
+            Cycles t1 = topo.send(s, home, t, topology::ctrlBytes);
+            q.schedule(t1, [this, &c, home, owner, s, block, instr,
+                            count_stats, issued, on_chip] {
+                Cycles t1m =
+                    mcs[home].access(q.now() + on_chip, block);
+                q.schedule(t1m, [this, &c, home, owner, s, instr,
+                                 count_stats, issued] {
+                    Cycles t2 = topo.send(home, owner, q.now(),
+                                          topology::ctrlBytes);
+                    q.schedule(t2, [this, &c, owner, s, instr,
+                                    count_stats, issued] {
+                        Cycles done =
+                            topo.send(owner, s, q.now(),
+                                      topology::dataBytes);
+                        q.schedule(done, [this, &c, instr,
+                                          count_stats, issued] {
+                            finishMiss(c, instr,
+                                       AccessType::BtSocket,
+                                       count_stats, issued,
+                                       q.now());
+                        });
+                    });
+                });
+            });
+        }
+        return;
+    }
+
+    if (topo.classify(s, home) == topology::AccessClass::Local) {
+        Cycles done = mcs[s].access(t + on_chip, block);
+        q.schedule(done, [this, &c, instr, count_stats, issued] {
+            finishMiss(c, instr, AccessType::Local, count_stats,
+                       issued, q.now());
+        });
+        return;
+    }
+
+    AccessType type;
+    switch (topo.classify(s, home)) {
+      case topology::AccessClass::OneHop:
+        type = AccessType::OneHop;
+        break;
+      case topology::AccessClass::TwoHop:
+        type = AccessType::TwoHop;
+        break;
+      default:
+        type = AccessType::Pool;
+        break;
+    }
+    Cycles t1 = topo.send(s, home, t, topology::ctrlBytes);
+    q.schedule(t1, [this, &c, home, s, block, instr, count_stats,
+                    issued, on_chip, type] {
+        Cycles t2 = mcs[home].access(q.now() + on_chip, block);
+        q.schedule(t2, [this, &c, home, s, instr, count_stats,
+                        issued, type] {
+            Cycles done =
+                topo.send(home, s, q.now(), topology::dataBytes);
+            q.schedule(done,
+                       [this, &c, instr, count_stats, issued, type] {
+                           finishMiss(c, instr, type, count_stats,
+                                      issued, q.now());
+                       });
+        });
+    });
+}
+
+// --- core actors ---
+
+bool
+PhaseSim::frontBlocks(const CoreState &c,
+                      std::uint64_t next_instr) const
+{
+    if (c.pending.empty())
+        return false;
+    const Outstanding &front = c.pending.front();
+    if (front.complete)
+        return false;
+    if (c.pending.size() >= static_cast<std::size_t>(core.mshrs))
+        return true;
+    if (c.detailed &&
+        front.instr + static_cast<std::uint64_t>(core.robEntries) <=
+            next_instr)
+        return true;
+    return false;
+}
+
+void
+PhaseSim::scheduleIssue(CoreState &c, Cycles when)
+{
+    if (c.issuePending || c.done)
+        return;
+    c.issuePending = true;
+    q.schedule(std::max(when, q.now()), [this, &c] {
+        c.issuePending = false;
+        issueNext(c);
+    });
+}
+
+void
+PhaseSim::issueNext(CoreState &c)
+{
+    if (c.done)
+        return;
+    // Retire completed misses off the front.
+    while (!c.pending.empty() && c.pending.front().complete)
+        c.pending.pop_front();
+
+    if (c.idx >= c.end) {
+        if (c.pending.empty())
+            finishCore(c);
+        else
+            c.blocked = true; // resume on completion
+        return;
+    }
+
+    const trace::MemRecord &r = trace.perThread[c.thread][c.idx];
+    if (frontBlocks(c, r.instr)) {
+        c.blocked = true;
+        return;
+    }
+    Cycles t = q.now();
+    if (t < c.readyTime) {
+        scheduleIssue(c, c.readyTime);
+        return;
+    }
+
+    if (c.detailed && !c.warmupCrossed && r.instr >= warmupInstr) {
+        c.warmupCrossed = true;
+        c.warmupCycle = t;
+    }
+    bool count_stats = r.instr >= warmupInstr;
+
+    // LLC lookup happens inline; only misses travel.
+    NodeId s = c.socket;
+    auto look = llcs[s].access(r.vaddr(), r.isWrite());
+    ++c.idx;
+    std::uint64_t this_instr = r.instr;
+
+    // Compute-pace the next issue.
+    std::uint64_t next_instr =
+        c.idx < c.end ? trace.perThread[c.thread][c.idx].instr
+                      : windowEnd;
+    std::uint64_t gap =
+        next_instr > this_instr ? next_instr - this_instr : 1;
+    double cpi = c.detailed ? core.baseCpi : lightCpi;
+    c.readyTime =
+        t + std::max<Cycles>(1, static_cast<Cycles>(gap * cpi));
+    c.lastInstr = this_instr;
+
+    if (look.hit) {
+        if (count_stats)
+            ++statLlcHits;
+        c.readyTime += c.detailed ? core.llcHitLatency : 0;
+        scheduleIssue(c, c.readyTime);
+        return;
+    }
+
+    ++missCount;
+    // Victim handling: directory + writeback traffic.
+    if (look.evicted) {
+        directory.evict(look.victim, s);
+        if (look.victimDirty) {
+            NodeId vh = options.singleSocketLocal
+                            ? s
+                            : pages.home(pageNumber(look.victim));
+            if (vh == s) {
+                mcs[s].access(t, look.victim);
+            } else if (vh != mem::invalidNode) {
+                Cycles arr =
+                    topo.send(s, vh, t, topology::dataBytes);
+                Addr victim = look.victim;
+                q.schedule(arr, [this, vh, victim] {
+                    mcs[vh].access(q.now(), victim);
+                });
+            }
+        }
+    }
+    // Tracker metadata update traffic (StarNUMA only).
+    if (setup.sys.hasPool && (missCount % metadataWritePeriod) == 0)
+        mcs[s].access(t, blockAddr(r.vaddr()) ^ 0x3c3cc3c3);
+
+    c.pending.push_back({this_instr, 0, false});
+    startMiss(c, r.vaddr(), r.isWrite(), this_instr, count_stats);
+    scheduleIssue(c, c.readyTime);
+}
+
+void
+PhaseSim::onComplete(CoreState &c, std::uint64_t instr, Cycles done,
+                     AccessType, bool, Cycles)
+{
+    for (auto &o : c.pending) {
+        if (!o.complete && o.instr == instr) {
+            o.complete = true;
+            o.done = done;
+            break;
+        }
+    }
+    while (!c.pending.empty() && c.pending.front().complete)
+        c.pending.pop_front();
+    if (c.blocked) {
+        c.blocked = false;
+        scheduleIssue(c, std::max(q.now(), c.readyTime));
+    }
+}
+
+void
+PhaseSim::finishCore(CoreState &c)
+{
+    Cycles t = std::max(q.now(), c.readyTime);
+    c.pending.clear();
+    if (c.lastInstr < windowEnd) {
+        t += static_cast<Cycles>((windowEnd - c.lastInstr) *
+                                 (c.detailed ? core.baseCpi
+                                             : lightCpi));
+        c.lastInstr = windowEnd;
+    }
+    c.done = true;
+    c.doneCycle = t;
+    if (allDetailedDone())
+        stop = true;
+}
+
+void
+PhaseSim::pace()
+{
+    // Regulate light-core injection with the detailed socket's
+    // measured IPC over the last interval (§IV-B).
+    std::uint64_t instr = 0;
+    int n = 0;
+    for (const CoreState &c : cores) {
+        if (!c.detailed)
+            continue;
+        instr += std::min(c.lastInstr, windowEnd) - windowStart;
+        ++n;
+    }
+    Cycles now = q.now();
+    if (instr > lastPaceInstr && now > lastPaceCycle) {
+        double cpi = static_cast<double>(now - lastPaceCycle) * n /
+                     (instr - lastPaceInstr);
+        lightCpi = std::clamp(cpi, core.baseCpi, 500.0);
+        lastPaceInstr = instr;
+        lastPaceCycle = now;
+    }
+    if (!stop)
+        q.scheduleAfter(pacerPeriod, [this] { pace(); });
+}
+
+bool
+PhaseSim::allDetailedDone() const
+{
+    for (const CoreState &c : cores)
+        if (c.detailed && !c.done)
+            return false;
+    return true;
+}
+
+void
+PhaseSim::run()
+{
+    for (CoreState &c : cores) {
+        if (c.idx >= c.end) {
+            if (c.detailed)
+                finishCore(c); // pure-compute window
+            else
+                c.done = true;
+            continue;
+        }
+        const trace::MemRecord &r = trace.perThread[c.thread][c.idx];
+        double cpi = c.detailed ? core.baseCpi : lightCpi;
+        c.readyTime = static_cast<Cycles>(
+            (r.instr - windowStart) * cpi);
+        scheduleIssue(c, c.readyTime);
+    }
+    q.scheduleAfter(2000, [this] { pace(); });
+
+    stop = allDetailedDone();
+    // Hard ceiling to bound runaway phases.
+    Cycles limit = static_cast<Cycles>(
+        scale.detailInstructions() * 2000.0);
+    while (!stop && !q.empty() && q.now() < limit)
+        q.step();
+
+    for (CoreState &c : cores) {
+        if (!c.detailed)
+            continue;
+        if (!c.done)
+            finishCore(c);
+        Cycles start = c.warmupCrossed ? c.warmupCycle : 0;
+        std::uint64_t instr0 =
+            c.warmupCrossed ? warmupInstr : windowStart;
+        statInstructions += windowEnd - instr0;
+        statCycles += c.doneCycle > start ? c.doneCycle - start : 1;
+    }
+    statCoherence0 = directory.transactions() - statCoherence0;
+    endCycle = q.now();
+}
+
+void
+PhaseSim::accumulate(RunMetrics &m) const
+{
+    m.instructions += statInstructions;
+    m.cycles += statCycles;
+    m.llcHits += statLlcHits;
+    std::uint64_t misses = 0;
+    for (int i = 0; i < accessTypes; ++i)
+        misses += statMix[i];
+    double prev_sum = m.amatCycles * m.memAccesses;
+    m.memAccesses += misses;
+    m.amatCycles = m.memAccesses ? (prev_sum + statLatency.sum()) /
+                                       m.memAccesses
+                                 : 0.0;
+    for (int i = 0; i < accessTypes; ++i)
+        m.mix[i] += static_cast<double>(statMix[i]); // raw counts
+    m.coherenceTransactions += statCoherence0;
+    m.blockTransfers +=
+        statMix[static_cast<int>(AccessType::BtSocket)] +
+        statMix[static_cast<int>(AccessType::BtPool)];
+    m.shootdownPages += statShootdownPages;
+    m.detailedMisses += statDetailedMisses;
+    for (int i = 0; i < accessTypes; ++i)
+        m.typeLatency[i] += statTypeLatency[i].sum(); // raw sums
+    m.migrationStallCycles += statMigStall.sum();
+}
+
+} // anonymous namespace
+
+TimingSim::TimingSim(const SystemSetup &setup, const SimScale &scale,
+                     TimingOptions options)
+    : setup(setup), scale(scale), options(options)
+{
+}
+
+RunMetrics
+TimingSim::run(const trace::WorkloadTrace &trace,
+               const TraceSimResult &placement)
+{
+    RunMetrics m;
+    Cycles total_horizon = 0;
+    std::unique_ptr<MachineState> shared_machine;
+    std::unique_ptr<MachineState> last_machine;
+
+    if (options.independentPhases) {
+        // §IV-A3 literally: N independent timing simulations, run
+        // concurrently when the host allows.
+        std::vector<std::unique_ptr<MachineState>> machines;
+        std::vector<std::unique_ptr<PhaseSim>> sims;
+        for (int phase = 0; phase < scale.phases; ++phase) {
+            machines.push_back(std::make_unique<MachineState>(
+                setup, scale, core));
+            machines.back()->replicated =
+                placement.replication.replicated;
+            sims.push_back(std::make_unique<PhaseSim>(
+                setup, scale, options, core, trace,
+                placement.checkpoints[phase], phase,
+                *machines.back()));
+        }
+        std::vector<std::future<void>> futures;
+        futures.reserve(sims.size());
+        for (auto &sim : sims)
+            futures.push_back(std::async(
+                std::launch::async, [&sim] { sim->run(); }));
+        for (auto &f : futures)
+            f.get();
+        for (auto &sim : sims) {
+            sim->accumulate(m);
+            total_horizon += sim->horizon();
+        }
+        last_machine = std::move(machines.back());
+    } else {
+        shared_machine = std::make_unique<MachineState>(
+            setup, scale, core);
+        shared_machine->replicated =
+            placement.replication.replicated;
+        for (int phase = 0; phase < scale.phases; ++phase) {
+            PhaseSim sim(setup, scale, options, core, trace,
+                         placement.checkpoints[phase], phase,
+                         *shared_machine);
+            sim.run();
+            sim.accumulate(m);
+            total_horizon += sim.horizon();
+        }
+    }
+    MachineState &machine =
+        options.independentPhases ? *last_machine
+                                  : *shared_machine;
+
+    // Interconnect diagnostics (final phase's occupancy over the
+    // mean phase horizon).
+    {
+        using topology::Dir;
+        using topology::LinkType;
+        double uti[3] = {0, 0, 0};
+        int cnt[3] = {0, 0, 0};
+        double max_util = 0;
+        stats::Mean queue;
+        Cycles horizon =
+            total_horizon ? total_horizon / scale.phases : 1;
+        for (const auto &link : machine.topo.links()) {
+            for (Dir d : {Dir::Forward, Dir::Backward}) {
+                double u = link.utilization(d, horizon);
+                int k = static_cast<int>(link.type());
+                uti[k] += u;
+                ++cnt[k];
+                max_util = std::max(max_util, u);
+                queue.sample(link.meanQueueDelay(d));
+            }
+        }
+        if (cnt[0])
+            m.upiUtilization = uti[0] / cnt[0];
+        if (cnt[1])
+            m.numalinkUtilization = uti[1] / cnt[1];
+        if (cnt[2])
+            m.cxlUtilization = uti[2] / cnt[2];
+        m.maxLinkUtilization = max_util;
+        m.meanLinkQueueNs =
+            cyclesToNs(static_cast<Cycles>(queue.mean()));
+        double dq = 0;
+        std::uint64_t dn = 0;
+        for (const auto &mc : machine.mcs) {
+            dq += mc.meanQueueDelay() * mc.requests();
+            dn += mc.requests();
+        }
+        m.meanDramQueueNs =
+            dn ? cyclesToNs(static_cast<Cycles>(dq / dn)) : 0;
+    }
+
+    m.ipc = m.cycles ? static_cast<double>(m.instructions) / m.cycles
+                     : 0.0;
+    std::uint64_t misses = m.memAccesses;
+    if (misses) {
+        double unloaded = 0;
+        for (int i = 0; i < accessTypes; ++i) {
+            double count = m.mix[i];
+            double frac = count / misses;
+            m.mix[i] = frac;
+            m.typeLatency[i] = count ? m.typeLatency[i] / count : 0;
+            unloaded += frac * nsToCycles(unloadedLatencyNs(
+                                   static_cast<AccessType>(i)));
+        }
+        m.unloadedAmatCycles = unloaded;
+        m.migrationStallCycles /= misses;
+    }
+    // Per-core LLC MPKI measured on the detailed socket (Table III).
+    m.llcMpki = m.instructions
+                    ? 1000.0 * m.detailedMisses / m.instructions
+                    : 0.0;
+    m.migratedPages = placement.migratedPagesTotal;
+    m.poolMigrationFraction = placement.poolMigrationFraction;
+    return m;
+}
+
+} // namespace driver
+} // namespace starnuma

@@ -1,0 +1,366 @@
+#include "driver/trace_sim.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/oracle.hh"
+#include "core/region_tracker.hh"
+#include "core/tlb_annex.hh"
+#include "core/tlb_directory.hh"
+#include "mem/page_map.hh"
+#include "sim/logging.hh"
+
+namespace starnuma
+{
+namespace driver
+{
+
+std::uint64_t
+Checkpoint::migratedPages(int pages_per_region) const
+{
+    return regionMigrations.size() *
+               static_cast<std::uint64_t>(pages_per_region) +
+           pageMigrations.size();
+}
+
+TraceSim::TraceSim(const SystemSetup &setup, const SimScale &scale)
+    : setup(setup), scale(scale)
+{
+    sn_assert(scale.sockets == setup.sys.sockets,
+              "scale/system socket mismatch (%d vs %d)",
+              scale.sockets, setup.sys.sockets);
+}
+
+NodeId
+TraceSim::socketOf(ThreadId t) const
+{
+    return t / scale.coresPerSocket;
+}
+
+TraceSimResult
+TraceSim::run(const trace::WorkloadTrace &trace)
+{
+    sn_assert(trace.threads == scale.threads(),
+              "trace captured for %d threads, scale expects %d",
+              trace.threads, scale.threads());
+    TraceSimResult result =
+        setup.placement == Placement::StaticOracle
+            ? runStaticOracle(trace)
+            : runDynamic(trace);
+    if (setup.replicateReadOnly)
+        result.replication = core::planReplication(
+            trace, scale.coresPerSocket, setup.sys.sockets,
+            setup.replication);
+    return result;
+}
+
+namespace
+{
+
+/** Snapshot a PageMap into a checkpoint's plain map. */
+std::unordered_map<Addr, NodeId>
+snapshot(const mem::PageMap &pm)
+{
+    std::unordered_map<Addr, NodeId> out;
+    out.reserve(pm.totalPages());
+    pm.forEach([&](Addr page, NodeId home) { out[page] = home; });
+    return out;
+}
+
+} // anonymous namespace
+
+TraceSimResult
+TraceSim::runDynamic(const trace::WorkloadTrace &trace)
+{
+    const bool star = setup.sys.hasPool;
+    const int nodes = setup.sys.sockets + (star ? 1 : 0);
+
+    TraceSimResult result;
+    result.footprintPages = trace.footprintBytes / pageBytes;
+    result.poolCapacityPages =
+        star ? static_cast<std::uint64_t>(
+                   result.footprintPages *
+                   setup.sys.poolCapacityFraction)
+             : 0;
+
+    mem::PageMap pm(nodes);
+    for (const auto &ft : trace.firstTouches)
+        pm.touch(ft.page, socketOf(ft.thread));
+
+    // Scale the per-phase migration budget to the footprint so the
+    // modeled migration traffic stays proportional to the shrunken
+    // phase length (the paper tunes an absolute limit per workload
+    // at its own scale, §IV-C).
+    core::MigrationConfig mig_cfg = setup.migration;
+    if (mig_cfg.scaleLimitToFootprint) {
+        mig_cfg.migrationLimitPages =
+            static_cast<std::uint32_t>(std::max<std::uint64_t>(
+                64, static_cast<std::uint64_t>(
+                        result.footprintPages *
+                        mig_cfg.migrationLimitFraction)));
+    }
+
+    // StarNUMA machinery: shared metadata region, per-core TLB
+    // annexes, Algorithm 1 engine.
+    core::RegionTracker tracker(mig_cfg.counterBits,
+                                setup.sys.sockets,
+                                setup.regionBytes);
+    std::vector<core::TlbAnnex> tlbs;
+    core::MigrationEngine engine(mig_cfg, setup.sys.sockets, star,
+                                 setup.regionBytes,
+                                 /*seed=*/17);
+    core::TlbDirectory tlb_dir(trace.threads);
+    if (star) {
+        tlbs.reserve(trace.threads);
+        for (ThreadId t = 0; t < trace.threads; ++t) {
+            tlbs.emplace_back(core::TlbConfig{}, tracker,
+                              socketOf(t));
+            tlbs.back().attachDirectory(&tlb_dir, t);
+        }
+    }
+
+    // Baseline machinery: zero-cost perfect page knowledge, same
+    // migration budget as StarNUMA gets.
+    core::PerfectPagePolicy perfect(setup.sys.sockets,
+                                    mig_cfg.migrationLimitPages);
+
+    std::vector<std::size_t> cursor(trace.threads, 0);
+    std::vector<core::RegionMigration> pending_regions;
+    std::vector<core::PageMigration> pending_pages;
+
+    for (int phase = 0; phase < scale.phases; ++phase) {
+        Checkpoint cp;
+        cp.pageHome = snapshot(pm);
+        cp.regionMigrations = std::move(pending_regions);
+        cp.pageMigrations = std::move(pending_pages);
+        pending_regions.clear();
+        pending_pages.clear();
+
+        std::uint64_t phase_end =
+            static_cast<std::uint64_t>(phase + 1) *
+            scale.phaseInstructions;
+
+        if (star) {
+            // Marker bits are set once per migration phase so hot,
+            // never-evicted TLB entries still report (§III-D1).
+            for (auto &tlb : tlbs)
+                tlb.setMarkers();
+        }
+
+        for (ThreadId t = 0; t < trace.threads; ++t) {
+            const auto &recs = trace.perThread[t];
+            NodeId socket = socketOf(t);
+            std::size_t &i = cursor[t];
+            while (i < recs.size() && recs[i].instr <= phase_end) {
+                Addr page = pageNumber(recs[i].vaddr());
+                pm.touch(page, socket);
+                if (star)
+                    tlbs[t].recordAccess(recs[i].vaddr());
+                else
+                    perfect.recordAccess(page, socket);
+                ++i;
+            }
+        }
+
+        if (star) {
+            for (auto &tlb : tlbs)
+                tlb.flushAll();
+            pending_regions = engine.decidePhase(
+                tracker, pm, result.poolCapacityPages, phase + 1);
+            // DiDi-style shootdowns: each migrated page only
+            // interrupts the cores whose TLBs hold it (§III-D3).
+            int ppr = tracker.pagesPerRegion();
+            for (const auto &m : pending_regions) {
+                Addr first = tracker.firstPage(m.region);
+                for (int p = 0; p < ppr; ++p) {
+                    Addr page = first + p;
+                    core::TlbHolderMask mask =
+                        tlb_dir.holders(page);
+                    tlb_dir.shootdown(page);
+                    for (ThreadId t = 0; t < trace.threads; ++t)
+                        if (mask.test(t))
+                            tlbs[t].shootdown(page * pageBytes);
+                }
+            }
+        } else {
+            pending_pages = perfect.decidePhase(pm);
+        }
+        result.checkpoints.push_back(std::move(cp));
+    }
+
+    result.migratedRegions = engine.migratedRegions();
+    result.migratedPagesTotal =
+        engine.migratedRegions() * tracker.pagesPerRegion() +
+        perfect.migratedPages();
+    result.poolMigrationFraction = engine.poolMigrationFraction();
+    result.victimEvictions = engine.victimEvictions();
+    result.pingPongSuppressed = engine.pingPongSuppressed();
+    if (star) {
+        result.pagesInPool = pm.pagesAt(setup.sys.poolNode());
+        result.tlbShootdownsSent = tlb_dir.shootdownsSent();
+        result.tlbShootdownsSaved = tlb_dir.shootdownsSaved();
+    }
+    return result;
+}
+
+TraceSimResult
+TraceSim::runStaticOracle(const trace::WorkloadTrace &trace)
+{
+    const bool star = setup.sys.hasPool;
+    const int nodes = setup.sys.sockets + (star ? 1 : 0);
+
+    TraceSimResult result;
+    result.footprintPages = trace.footprintBytes / pageBytes;
+    result.poolCapacityPages =
+        star ? static_cast<std::uint64_t>(
+                   result.footprintPages *
+                   setup.sys.poolCapacityFraction)
+             : 0;
+
+    // A priori knowledge: feed the whole run into the oracle.
+    core::OraclePlacement oracle(setup.sys.sockets);
+    for (ThreadId t = 0; t < trace.threads; ++t)
+        for (const auto &r : trace.perThread[t])
+            oracle.recordAccess(pageNumber(r.vaddr()), socketOf(t));
+
+    mem::PageMap pm(nodes);
+    // Pages only touched during setup fall back to first touch.
+    for (const auto &ft : trace.firstTouches)
+        pm.touch(ft.page, socketOf(ft.thread));
+    oracle.place(pm, star, result.poolCapacityPages,
+                 setup.migration.poolSharerThreshold);
+
+    auto map = snapshot(pm);
+    for (int phase = 0; phase < scale.phases; ++phase) {
+        Checkpoint cp;
+        cp.pageHome = map;
+        result.checkpoints.push_back(std::move(cp));
+    }
+    if (star)
+        result.pagesInPool = pm.pagesAt(setup.sys.poolNode());
+    return result;
+}
+
+namespace
+{
+
+constexpr std::uint64_t checkpointMagic = 0x53544152434b5031ULL;
+
+bool
+put(std::FILE *f, const void *p, std::size_t n)
+{
+    if (n == 0)
+        return true; // empty vectors have a null data()
+    return std::fwrite(p, 1, n, f) == n;
+}
+
+bool
+get(std::FILE *f, void *p, std::size_t n)
+{
+    if (n == 0)
+        return true;
+    return std::fread(p, 1, n, f) == n;
+}
+
+} // anonymous namespace
+
+bool
+TraceSimResult::save(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    bool ok = put(f, &checkpointMagic, 8);
+    std::uint64_t scalars[] = {
+        checkpoints.size(),   poolCapacityPages,
+        footprintPages,       migratedRegions,
+        migratedPagesTotal,   victimEvictions,
+        pingPongSuppressed,   pagesInPool};
+    ok = ok && put(f, scalars, sizeof(scalars));
+    ok = ok && put(f, &poolMigrationFraction, 8);
+    for (const Checkpoint &cp : checkpoints) {
+        std::uint64_t n = cp.pageHome.size();
+        ok = ok && put(f, &n, 8);
+        for (const auto &[page, home] : cp.pageHome) {
+            std::int64_t h = home;
+            ok = ok && put(f, &page, 8) && put(f, &h, 8);
+        }
+        n = cp.regionMigrations.size();
+        ok = ok && put(f, &n, 8);
+        ok = ok && put(f, cp.regionMigrations.data(),
+                       n * sizeof(core::RegionMigration));
+        n = cp.pageMigrations.size();
+        ok = ok && put(f, &n, 8);
+        ok = ok && put(f, cp.pageMigrations.data(),
+                       n * sizeof(core::PageMigration));
+    }
+    std::uint64_t n_rep = replication.replicated.size();
+    ok = ok && put(f, &n_rep, 8);
+    for (Addr page : replication.replicated)
+        ok = ok && put(f, &page, 8);
+    ok = ok && put(f, &replication.capacityOverhead, 8);
+    std::fclose(f);
+    return ok;
+}
+
+bool
+TraceSimResult::load(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::uint64_t magic = 0;
+    bool ok = get(f, &magic, 8) && magic == checkpointMagic;
+    std::uint64_t scalars[8] = {};
+    ok = ok && get(f, scalars, sizeof(scalars));
+    ok = ok && get(f, &poolMigrationFraction, 8);
+    if (ok) {
+        poolCapacityPages = scalars[1];
+        footprintPages = scalars[2];
+        migratedRegions = scalars[3];
+        migratedPagesTotal = scalars[4];
+        victimEvictions = scalars[5];
+        pingPongSuppressed = scalars[6];
+        pagesInPool = scalars[7];
+        checkpoints.assign(scalars[0], {});
+    }
+    for (Checkpoint &cp : checkpoints) {
+        if (!ok)
+            break;
+        std::uint64_t n = 0;
+        ok = ok && get(f, &n, 8);
+        cp.pageHome.reserve(n);
+        for (std::uint64_t i = 0; ok && i < n; ++i) {
+            Addr page = 0;
+            std::int64_t h = 0;
+            ok = get(f, &page, 8) && get(f, &h, 8);
+            cp.pageHome[page] = static_cast<NodeId>(h);
+        }
+        ok = ok && get(f, &n, 8);
+        if (ok) {
+            cp.regionMigrations.resize(n);
+            ok = get(f, cp.regionMigrations.data(),
+                     n * sizeof(core::RegionMigration));
+        }
+        ok = ok && get(f, &n, 8);
+        if (ok) {
+            cp.pageMigrations.resize(n);
+            ok = get(f, cp.pageMigrations.data(),
+                     n * sizeof(core::PageMigration));
+        }
+    }
+    std::uint64_t n_rep = 0;
+    ok = ok && get(f, &n_rep, 8);
+    replication.replicated.clear();
+    for (std::uint64_t i = 0; ok && i < n_rep; ++i) {
+        Addr page = 0;
+        ok = get(f, &page, 8);
+        replication.replicated.insert(page);
+    }
+    ok = ok && get(f, &replication.capacityOverhead, 8);
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace driver
+} // namespace starnuma

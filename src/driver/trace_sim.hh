@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Step B of the methodology (§IV-A2): replay the captured memory
+ * traces (no timing), drive the page-placement machinery — first
+ * touch, the T_i tracker + TLB annexes + Algorithm 1 for StarNUMA,
+ * the zero-cost perfect-knowledge page policy for the baseline, or
+ * the §V-B static oracle — and emit one checkpoint per phase: the
+ * page-to-node map at the phase's start plus the migrations to be
+ * modeled during that phase by the timing simulation (step C).
+ */
+
+#ifndef STARNUMA_DRIVER_TRACE_SIM_HH
+#define STARNUMA_DRIVER_TRACE_SIM_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/migration.hh"
+#include "core/perfect_policy.hh"
+#include "core/replication.hh"
+#include "driver/system_setup.hh"
+#include "sim/scale.hh"
+#include "trace/trace.hh"
+
+namespace starnuma
+{
+namespace driver
+{
+
+/** Inputs of one phase's timing simulation. */
+struct Checkpoint
+{
+    /** Page -> home node at the start of the phase. */
+    std::unordered_map<Addr, NodeId> pageHome;
+
+    /** Region migrations occurring during this phase (StarNUMA). */
+    std::vector<core::RegionMigration> regionMigrations;
+
+    /** Page migrations occurring during this phase (baseline). */
+    std::vector<core::PageMigration> pageMigrations;
+
+    /** Pages moved by this phase's migrations. */
+    std::uint64_t migratedPages(int pages_per_region) const;
+};
+
+/** Output of step B. */
+struct TraceSimResult
+{
+    std::vector<Checkpoint> checkpoints;
+    std::uint64_t poolCapacityPages = 0;
+    std::uint64_t footprintPages = 0;
+
+    // Migration statistics (Table IV).
+    std::uint64_t migratedRegions = 0;
+    std::uint64_t migratedPagesTotal = 0;
+    double poolMigrationFraction = 0.0;
+    std::uint64_t victimEvictions = 0;
+    std::uint64_t pingPongSuppressed = 0;
+
+    /** Pages resident in the pool at the end of the run. */
+    std::uint64_t pagesInPool = 0;
+
+    /** §V-F replication plan (empty unless enabled in the setup). */
+    core::ReplicationPlan replication;
+
+    // DiDi shared-TLB-directory statistics (§III-D3): targeted
+    // shootdown messages sent vs per-core IPIs avoided.
+    std::uint64_t tlbShootdownsSent = 0;
+    std::uint64_t tlbShootdownsSaved = 0;
+
+    /**
+     * Serialize the checkpoints (step B's output artifact, §IV-A2)
+     * so timing simulations can run later or elsewhere.
+     * @return false on IO error.
+     */
+    bool save(const std::string &path) const;
+
+    /** Load checkpoints previously written by save(). */
+    bool load(const std::string &path);
+};
+
+/** The memory-trace simulator. */
+class TraceSim
+{
+  public:
+    TraceSim(const SystemSetup &setup, const SimScale &scale);
+
+    /** Run all phases over @p trace. */
+    TraceSimResult run(const trace::WorkloadTrace &trace);
+
+  private:
+    TraceSimResult runDynamic(const trace::WorkloadTrace &trace);
+    TraceSimResult runStaticOracle(const trace::WorkloadTrace &trace);
+
+    NodeId socketOf(ThreadId t) const;
+
+    const SystemSetup &setup;
+    SimScale scale;
+};
+
+} // namespace driver
+} // namespace starnuma
+
+#endif // STARNUMA_DRIVER_TRACE_SIM_HH

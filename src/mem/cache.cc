@@ -1,0 +1,131 @@
+#include "mem/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace starnuma
+{
+namespace mem
+{
+
+namespace
+{
+
+std::size_t
+toPowerOfTwo(std::size_t v)
+{
+    std::size_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // anonymous namespace
+
+Cache::Cache(const CacheConfig &config)
+    : ways(config.ways), useClock(0), hits_(0), misses_(0),
+      evictions_(0)
+{
+    sn_assert(config.ways > 0 && config.sizeBytes >= blockBytes,
+              "bad cache geometry");
+    numSets = toPowerOfTwo(
+        config.sizeBytes / (blockBytes * config.ways));
+    if (numSets == 0)
+        numSets = 1;
+    sets_.assign(numSets * ways, Line{});
+}
+
+std::size_t
+Cache::setIndex(Addr block) const
+{
+    return (block / blockBytes) & (numSets - 1);
+}
+
+CacheAccess
+Cache::access(Addr addr, bool write)
+{
+    Addr block = blockAddr(addr);
+    Line *set = &sets_[setIndex(block) * ways];
+    ++useClock;
+
+    CacheAccess result;
+    Line *lru = &set[0];
+    for (int w = 0; w < ways; ++w) {
+        Line &line = set[w];
+        if (line.valid && line.tag == block) {
+            line.lastUse = useClock;
+            line.dirty |= write;
+            ++hits_;
+            result.hit = true;
+            return result;
+        }
+        if (!line.valid) {
+            lru = &line;
+        } else if (lru->valid && line.lastUse < lru->lastUse) {
+            lru = &line;
+        }
+    }
+
+    ++misses_;
+    if (lru->valid) {
+        ++evictions_;
+        result.evicted = true;
+        result.victim = lru->tag;
+        result.victimDirty = lru->dirty;
+    }
+    lru->valid = true;
+    lru->tag = block;
+    lru->dirty = write;
+    lru->lastUse = useClock;
+    return result;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    Addr block = blockAddr(addr);
+    const Line *set = &sets_[setIndex(block) * ways];
+    for (int w = 0; w < ways; ++w)
+        if (set[w].valid && set[w].tag == block)
+            return true;
+    return false;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    Addr block = blockAddr(addr);
+    Line *set = &sets_[setIndex(block) * ways];
+    for (int w = 0; w < ways; ++w) {
+        if (set[w].valid && set[w].tag == block) {
+            set[w].valid = false;
+            set[w].dirty = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+int
+Cache::invalidatePage(Addr addr)
+{
+    int dropped = 0;
+    Addr page = pageAddr(addr);
+    for (Addr block = page; block < page + pageBytes;
+         block += blockBytes)
+        dropped += invalidate(block);
+    return dropped;
+}
+
+void
+Cache::reset()
+{
+    for (Line &line : sets_)
+        line = Line{};
+    useClock = 0;
+    hits_ = 0;
+    misses_ = 0;
+    evictions_ = 0;
+}
+
+} // namespace mem
+} // namespace starnuma

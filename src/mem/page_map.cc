@@ -1,0 +1,62 @@
+#include "mem/page_map.hh"
+
+#include "sim/logging.hh"
+
+namespace starnuma
+{
+namespace mem
+{
+
+PageMap::PageMap(int nodes) : counts(nodes, 0), firstTouch(0)
+{
+    sn_assert(nodes > 0, "page map needs at least one node");
+}
+
+NodeId
+PageMap::home(Addr page) const
+{
+    auto it = map.find(page);
+    return it == map.end() ? invalidNode : it->second;
+}
+
+NodeId
+PageMap::touch(Addr page, NodeId toucher)
+{
+    auto [it, inserted] = map.try_emplace(page, toucher);
+    if (inserted) {
+        sn_assert(toucher >= 0 &&
+                      static_cast<std::size_t>(toucher) < counts.size(),
+                  "first-touch by unknown node %d", toucher);
+        ++counts[toucher];
+        ++firstTouch;
+    }
+    return it->second;
+}
+
+void
+PageMap::setHome(Addr page, NodeId node)
+{
+    sn_assert(node >= 0 &&
+                  static_cast<std::size_t>(node) < counts.size(),
+              "migrating page to unknown node %d", node);
+    auto it = map.find(page);
+    if (it == map.end()) {
+        map.emplace(page, node);
+    } else {
+        --counts[it->second];
+        it->second = node;
+    }
+    ++counts[node];
+}
+
+std::uint64_t
+PageMap::pagesAt(NodeId node) const
+{
+    sn_assert(node >= 0 &&
+                  static_cast<std::size_t>(node) < counts.size(),
+              "pagesAt of unknown node %d", node);
+    return counts[node];
+}
+
+} // namespace mem
+} // namespace starnuma

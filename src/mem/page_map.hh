@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Page-to-home-node mapping with first-touch initial placement
+ * (§IV-C) and migration support. Pages are keyed by page number.
+ * The map also tracks per-node page counts so capacity policies
+ * (pool limit, victim selection) can query occupancy cheaply.
+ */
+
+#ifndef STARNUMA_MEM_PAGE_MAP_HH
+#define STARNUMA_MEM_PAGE_MAP_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace starnuma
+{
+namespace mem
+{
+
+/** Home node returned for pages that were never touched. */
+constexpr NodeId invalidNode = -1;
+
+/** Page table mapping page numbers to home nodes. */
+class PageMap
+{
+  public:
+    /** @param nodes addressable home nodes (sockets + pool). */
+    explicit PageMap(int nodes);
+
+    /** Home of page @p page, or invalidNode if unmapped. */
+    NodeId home(Addr page) const;
+
+    /**
+     * First-touch lookup: maps the page to @p toucher's socket on
+     * first access, then sticks.
+     * @return the (possibly just-assigned) home node.
+     */
+    NodeId touch(Addr page, NodeId toucher);
+
+    /** Force page @p page to live on node @p node (migration). */
+    void setHome(Addr page, NodeId node);
+
+    /** Number of mapped pages homed at @p node. */
+    std::uint64_t pagesAt(NodeId node) const;
+
+    /** Total mapped pages. */
+    std::uint64_t totalPages() const { return map.size(); }
+
+    /** Pages whose initial placement came from first touch. */
+    std::uint64_t firstTouchPages() const { return firstTouch; }
+
+    /** Visit every (page, home) entry. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &[page, node] : map)
+            fn(page, node);
+    }
+
+  private:
+    std::unordered_map<Addr, NodeId> map;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t firstTouch;
+};
+
+} // namespace mem
+} // namespace starnuma
+
+#endif // STARNUMA_MEM_PAGE_MAP_HH

@@ -1,0 +1,51 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace starnuma
+{
+
+void
+EventQueue::schedule(Cycles when, Callback cb)
+{
+    sn_assert(when >= now_, "scheduling into the past (%llu < %llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(now_));
+    events.push(Event{when, nextSeq++, std::move(cb)});
+}
+
+std::uint64_t
+EventQueue::run(Cycles limit)
+{
+    std::uint64_t count = 0;
+    while (!events.empty() && events.top().when <= limit) {
+        // Move the callback out before popping so that the callback
+        // may itself schedule new events.
+        Event ev = std::move(const_cast<Event &>(events.top()));
+        events.pop();
+        now_ = ev.when;
+        ev.cb();
+        ++executed_;
+        ++count;
+    }
+    // With an explicit finite limit, time advances to the limit even
+    // if the queue drains first (so fixed-horizon windows line up).
+    if (events.empty() && limit != ~Cycles(0) && now_ < limit)
+        now_ = limit;
+    return count;
+}
+
+bool
+EventQueue::step()
+{
+    if (events.empty())
+        return false;
+    Event ev = std::move(const_cast<Event &>(events.top()));
+    events.pop();
+    now_ = ev.when;
+    ev.cb();
+    ++executed_;
+    return true;
+}
+
+} // namespace starnuma

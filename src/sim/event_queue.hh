@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Minimal discrete-event simulation kernel. The timing simulation
+ * (driver/timing_sim) advances a single EventQueue; components
+ * schedule std::function callbacks at absolute cycle times.
+ */
+
+#ifndef STARNUMA_SIM_EVENT_QUEUE_HH
+#define STARNUMA_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace starnuma
+{
+
+/**
+ * Time-ordered event queue with FIFO ordering among same-cycle
+ * events (stable via a monotonically increasing sequence number).
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() : now_(0), nextSeq(0), executed_(0) {}
+
+    /** Current simulation time in cycles. */
+    Cycles now() const { return now_; }
+
+    /** Number of events executed so far. */
+    std::uint64_t executed() const { return executed_; }
+
+    /** True when no events remain. */
+    bool empty() const { return events.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return events.size(); }
+
+    /** Schedule @p cb at absolute time @p when (>= now). */
+    void schedule(Cycles when, Callback cb);
+
+    /** Schedule @p cb @p delta cycles from now. */
+    void
+    scheduleAfter(Cycles delta, Callback cb)
+    {
+        schedule(now_ + delta, std::move(cb));
+    }
+
+    /**
+     * Run until the queue drains or time exceeds @p limit.
+     * @return the number of events executed by this call.
+     */
+    std::uint64_t run(Cycles limit = ~Cycles(0));
+
+    /** Execute exactly one event, if any. @return true if one ran. */
+    bool step();
+
+  private:
+    struct Event
+    {
+        Cycles when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events;
+    Cycles now_;
+    std::uint64_t nextSeq;
+    std::uint64_t executed_;
+};
+
+} // namespace starnuma
+
+#endif // STARNUMA_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,72 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace starnuma
+{
+
+namespace
+{
+
+void
+vreport(const char *level, const char *fmt, va_list args)
+{
+    std::fprintf(stderr, "%s: ", level);
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+}
+
+} // anonymous namespace
+
+void
+inform(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("info", fmt, args);
+    va_end(args);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("warn", fmt, args);
+    va_end(args);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("fatal", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("panic", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+panicAssert(const char *cond, const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: assertion '%s' failed: ", cond);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+    std::abort();
+}
+
+} // namespace starnuma

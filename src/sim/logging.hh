@@ -1,0 +1,50 @@
+/**
+ * @file
+ * gem5-style status and error reporting. fatal() is for user error
+ * (bad configuration), panic() for internal invariant violations.
+ */
+
+#ifndef STARNUMA_SIM_LOGGING_HH
+#define STARNUMA_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace starnuma
+{
+
+/** Print an informational message to stderr ("info: ..."). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr ("warn: ..."). */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate with exit(1): the simulation cannot continue due to a
+ * condition that is the user's fault (bad configuration, invalid
+ * arguments) rather than a simulator bug.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Abort: something happened that should never happen regardless of
+ * user input, i.e., an actual simulator bug.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Backend for sn_assert: reports the condition, then the message. */
+[[noreturn]] void panicAssert(const char *cond, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** panic() unless @p cond holds. Use for internal invariants. */
+#define sn_assert(cond, ...)                                          \
+    do {                                                              \
+        if (!(cond))                                                  \
+            ::starnuma::panicAssert(#cond, __VA_ARGS__);              \
+    } while (0)
+
+} // namespace starnuma
+
+#endif // STARNUMA_SIM_LOGGING_HH

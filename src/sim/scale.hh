@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Simulation-scale knobs (§IV-A/§IV-D of the paper, scaled down for
+ * laptop-class runs). The paper's methodology records one-billion-
+ * instruction phases and simulates the first 10% of each in timing
+ * detail; we keep the structure but shrink the per-thread instruction
+ * volume. Fig 14's SC2/SC3 configurations are variations of this
+ * struct.
+ */
+
+#ifndef STARNUMA_SIM_SCALE_HH
+#define STARNUMA_SIM_SCALE_HH
+
+#include <cstdint>
+
+namespace starnuma
+{
+
+/** Scale parameters for the three-step methodology. */
+struct SimScale
+{
+    /** Sockets in the system (paper: 16). */
+    int sockets = 16;
+
+    /** Sockets per chassis (paper: 4). */
+    int socketsPerChassis = 4;
+
+    /** Simulated cores per socket (Table II: 4). */
+    int coresPerSocket = 4;
+
+    /** Number of billion-instruction phases (paper: 5-10). */
+    int phases = 5;
+
+    /** Instructions per thread per phase (paper: 1e9). */
+    std::uint64_t phaseInstructions = 400000;
+
+    /**
+     * Fraction of each phase simulated in timing detail
+     * (paper: 100M of 1B = 10%).
+     */
+    double detailFraction = 0.10;
+
+    /**
+     * Warm-up instructions per thread before stats collection in each
+     * timing window (paper: 10-20M of 100M; we keep the same 15%).
+     */
+    double warmupFraction = 0.15;
+
+    /** Total logical threads (one per simulated core). */
+    int
+    threads() const
+    {
+        return sockets * coresPerSocket;
+    }
+
+    /** Chassis count. */
+    int
+    chassis() const
+    {
+        return sockets / socketsPerChassis;
+    }
+
+    /** Instructions per thread covered by one timing window. */
+    std::uint64_t
+    detailInstructions() const
+    {
+        return static_cast<std::uint64_t>(
+            phaseInstructions * detailFraction);
+    }
+
+    /** Default configuration (SC1 in Fig 14). */
+    static SimScale sc1() { return SimScale{}; }
+
+    /** SC2: 3x more detailed instructions per phase. */
+    static SimScale
+    sc2()
+    {
+        SimScale s;
+        s.detailFraction = 0.30;
+        return s;
+    }
+
+    /** SC3: doubled system scale (8 cores/socket, 128 threads). */
+    static SimScale
+    sc3()
+    {
+        SimScale s;
+        s.coresPerSocket = 8;
+        return s;
+    }
+
+    /** Quick configuration for unit tests. */
+    static SimScale
+    tiny()
+    {
+        SimScale s;
+        s.phases = 2;
+        s.phaseInstructions = 40000;
+        return s;
+    }
+};
+
+} // namespace starnuma
+
+#endif // STARNUMA_SIM_SCALE_HH

@@ -1,0 +1,68 @@
+#include "sim/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace starnuma
+{
+
+TextTable::TextTable(std::vector<std::string> header)
+{
+    rows.push_back(std::move(header));
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    sn_assert(row.size() == rows.front().size(),
+              "row width %zu != header width %zu",
+              row.size(), rows.front().size());
+    rows.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+TextTable::pct(double ratio, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, ratio * 100.0);
+    return buf;
+}
+
+std::string
+TextTable::str() const
+{
+    std::vector<std::size_t> widths(rows.front().size(), 0);
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream out;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        for (std::size_t c = 0; c < rows[r].size(); ++c) {
+            out << rows[r][c];
+            if (c + 1 < rows[r].size())
+                out << std::string(widths[c] - rows[r][c].size() + 2,
+                                   ' ');
+        }
+        out << '\n';
+        if (r == 0) {
+            std::size_t line = 0;
+            for (std::size_t c = 0; c < widths.size(); ++c)
+                line += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+            out << std::string(line, '-') << '\n';
+        }
+    }
+    return out.str();
+}
+
+} // namespace starnuma

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * ASCII table formatting for benchmark/report output: the benches
+ * print paper-style rows (Fig/Table reproductions) through this.
+ */
+
+#ifndef STARNUMA_SIM_TABLE_HH
+#define STARNUMA_SIM_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace starnuma
+{
+
+/** Column-aligned text table with a header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one row; must match the header's column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Format a double with @p decimals places. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Format a ratio as a percentage string ("42.0%"). */
+    static std::string pct(double ratio, int decimals = 1);
+
+    /** Render with column padding and a separator under the header. */
+    std::string str() const;
+
+  private:
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace starnuma
+
+#endif // STARNUMA_SIM_TABLE_HH

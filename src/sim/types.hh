@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fundamental scalar types and unit helpers shared by every StarNUMA
+ * module. The simulation's unit of time is one core clock cycle at
+ * 2.4 GHz (Table I); helpers convert between nanoseconds and cycles.
+ */
+
+#ifndef STARNUMA_SIM_TYPES_HH
+#define STARNUMA_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace starnuma
+{
+
+/** Simulated physical or virtual byte address. */
+using Addr = std::uint64_t;
+
+/** Simulation time, in core clock cycles (2.4 GHz). */
+using Cycles = std::uint64_t;
+
+/** Signed cycle delta, for latency arithmetic that may go negative. */
+using CycleDelta = std::int64_t;
+
+/** Identifier of a CPU socket (0..N-1); the pool gets its own id. */
+using NodeId = std::int32_t;
+
+/** Identifier of a logical hardware thread across the whole system. */
+using ThreadId = std::int32_t;
+
+/** Core clock frequency assumed throughout (Table I). */
+constexpr double clockGHz = 2.4;
+
+/** Cache block size in bytes. */
+constexpr Addr blockBytes = 64;
+
+/** Small (base) page size in bytes. */
+constexpr Addr pageBytes = 4096;
+
+/** Convert a latency in nanoseconds to core clock cycles (rounded). */
+constexpr Cycles
+nsToCycles(double ns)
+{
+    return static_cast<Cycles>(ns * clockGHz + 0.5);
+}
+
+/** Convert core clock cycles back to nanoseconds. */
+constexpr double
+cyclesToNs(Cycles cycles)
+{
+    return static_cast<double>(cycles) / clockGHz;
+}
+
+/**
+ * Cycles needed to serialize @p bytes over a link of @p gbps GB/s
+ * (per direction). 1 GB/s == 1e9 bytes/s; at 2.4e9 cycles/s a byte
+ * takes 2.4 / gbps cycles.
+ */
+constexpr Cycles
+serializationCycles(Addr bytes, double gbps)
+{
+    return static_cast<Cycles>(
+        static_cast<double>(bytes) * clockGHz / gbps + 0.5);
+}
+
+/** Address of the cache block containing @p addr. */
+constexpr Addr
+blockAddr(Addr addr)
+{
+    return addr & ~(blockBytes - 1);
+}
+
+/** Address of the page containing @p addr. */
+constexpr Addr
+pageAddr(Addr addr)
+{
+    return addr & ~(pageBytes - 1);
+}
+
+/** Page number (page-granular index) of @p addr. */
+constexpr Addr
+pageNumber(Addr addr)
+{
+    return addr / pageBytes;
+}
+
+} // namespace starnuma
+
+#endif // STARNUMA_SIM_TYPES_HH

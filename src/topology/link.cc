@@ -1,0 +1,68 @@
+#include "topology/link.hh"
+
+#include <algorithm>
+
+namespace starnuma
+{
+namespace topology
+{
+
+Link::Link(LinkType type, double gbps, Cycles one_way_latency,
+           std::string name)
+    : linkType(type), gbps(gbps), propLatency(one_way_latency),
+      name_(std::move(name))
+{
+}
+
+Cycles
+Link::transfer(Dir dir, Cycles now, Addr bytes)
+{
+    Direction &d = side(dir);
+    Cycles start = std::max(now, d.nextFree);
+    Cycles ser = serializationCycles(bytes, gbps);
+    d.queueDelay.sample(static_cast<double>(start - now));
+    d.nextFree = start + ser;
+    d.bytes += bytes;
+    d.busy += ser;
+    return start + ser + propLatency;
+}
+
+void
+Link::resetContention()
+{
+    for (auto &d : dirs) {
+        d.nextFree = 0;
+        d.bytes = 0;
+        d.busy = 0;
+        d.queueDelay.reset();
+    }
+}
+
+std::uint64_t
+Link::bytesMoved(Dir dir) const
+{
+    return side(dir).bytes;
+}
+
+Cycles
+Link::busyCycles(Dir dir) const
+{
+    return side(dir).busy;
+}
+
+double
+Link::meanQueueDelay(Dir dir) const
+{
+    return side(dir).queueDelay.mean();
+}
+
+double
+Link::utilization(Dir dir, Cycles horizon) const
+{
+    if (horizon == 0)
+        return 0.0;
+    return static_cast<double>(side(dir).busy) / horizon;
+}
+
+} // namespace topology
+} // namespace starnuma

@@ -1,0 +1,98 @@
+#include "topology/system_config.hh"
+
+namespace starnuma
+{
+namespace topology
+{
+
+SystemConfig
+SystemConfig::baseline16()
+{
+    SystemConfig c;
+    c.name = "baseline-16";
+    return c;
+}
+
+SystemConfig
+SystemConfig::starnuma16()
+{
+    SystemConfig c;
+    c.name = "starnuma-16";
+    c.hasPool = true;
+    return c;
+}
+
+SystemConfig
+SystemConfig::baselineIsoBW()
+{
+    // Pro-rate the pool's aggregate effective bandwidth onto the
+    // coherent links: 20.8 -> 26.4 GB/s UPI and 13 -> 17 GB/s
+    // NUMALink at full scale (§V-D), i.e., x1.269 and x1.308.
+    SystemConfig c = baseline16();
+    c.name = "baseline-iso-bw";
+    c.upiGbps *= 26.4 / 20.8;
+    c.numalinkGbps *= 17.0 / 13.0;
+    return c;
+}
+
+SystemConfig
+SystemConfig::baseline2xBW()
+{
+    SystemConfig c = baseline16();
+    c.name = "baseline-2x-bw";
+    c.upiGbps *= 2.0;
+    c.numalinkGbps *= 2.0;
+    return c;
+}
+
+SystemConfig
+SystemConfig::starnumaHalfBW()
+{
+    SystemConfig c = starnuma16();
+    c.name = "starnuma-half-bw";
+    c.cxlGbps /= 2.0;
+    return c;
+}
+
+SystemConfig
+SystemConfig::starnumaSwitched()
+{
+    // An intermediate CXL switch adds ~90 ns roundtrip (§III-B),
+    // raising the pool latency penalty from 100 ns to 190 ns and the
+    // end-to-end unloaded pool access to 270 ns (Fig 10).
+    SystemConfig c = starnuma16();
+    c.name = "starnuma-switched";
+    c.cxlOneWayNs = 95.0;
+    return c;
+}
+
+SystemConfig
+SystemConfig::starnumaSmallPool()
+{
+    SystemConfig c = starnuma16();
+    c.name = "starnuma-small-pool";
+    c.poolCapacityFraction = 1.0 / 17.0;
+    return c;
+}
+
+SystemConfig
+SystemConfig::starnuma32()
+{
+    SystemConfig c = starnuma16();
+    c.name = "starnuma-32";
+    c.sockets = 32;
+    c.cxlOneWayNs = 95.0; // switch required at this scale
+    return c;
+}
+
+SystemConfig
+SystemConfig::baseline32()
+{
+    SystemConfig c = baseline16();
+    c.name = "baseline-32";
+    c.sockets = 32;
+    return c;
+}
+
+} // namespace topology
+} // namespace starnuma

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Hardware parameters of a (baseline or StarNUMA) multi-socket
+ * system: socket/chassis counts, link latencies and bandwidths, and
+ * memory parameters. Latency constants reproduce the paper's 80 /
+ * 130 / 360 / 180 ns unloaded memory access points (§II-A, §III-B);
+ * bandwidths are the scaled-down values of Table II. Named factory
+ * functions construct every configuration evaluated in §V.
+ */
+
+#ifndef STARNUMA_TOPOLOGY_SYSTEM_CONFIG_HH
+#define STARNUMA_TOPOLOGY_SYSTEM_CONFIG_HH
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace starnuma
+{
+namespace topology
+{
+
+/** Size of a control (request/ack) message on a coherent link. */
+constexpr Addr ctrlBytes = 16;
+
+/** Size of a cache-block data message (block + header). */
+constexpr Addr dataBytes = blockBytes + 8;
+
+/** Full parameterization of one simulated system configuration. */
+struct SystemConfig
+{
+    std::string name = "baseline-16";
+
+    int sockets = 16;
+    int socketsPerChassis = 4;
+
+    /** True when the system features the CXL memory pool. */
+    bool hasPool = false;
+
+    // Per-direction link bandwidths in GB/s (Table II scaled values).
+    double upiGbps = 3.0;
+    double numalinkGbps = 3.0;
+    double cxlGbps = 6.0;
+
+    // One-way latency contributions in nanoseconds, chosen so the
+    // end-to-end unloaded sums match the paper (DESIGN.md §5).
+    double upiNs = 25.0;
+    double flexAsicNs = 20.0;
+    double numalinkNs = 50.0;
+    double cxlOneWayNs = 50.0;
+
+    /** On-socket path: LLC miss handling to memory controller. */
+    double onChipNs = 30.0;
+
+    /** Unloaded DRAM device access (row activation + CAS + data). */
+    double dramNs = 50.0;
+
+    // Memory channels (Table II: one per socket, two on the pool).
+    int channelsPerSocket = 1;
+    int poolChannels = 2;
+
+    /** Per-channel DDR5-4800 bandwidth, GB/s. */
+    double channelGbps = 38.4;
+
+    /** DRAM banks per channel (bank-level parallelism). */
+    int banksPerChannel = 16;
+
+    /** Pool capacity as a fraction of the workload footprint. */
+    double poolCapacityFraction = 0.20;
+
+    int chassis() const { return sockets / socketsPerChassis; }
+
+    /** NodeId used for the memory pool (one past the last socket). */
+    NodeId poolNode() const { return sockets; }
+
+    // Derived unloaded end-to-end memory latencies (ns). These are
+    // the paper's headline latency points and are unit-tested.
+    double localNs() const { return onChipNs + dramNs; }
+    double oneHopNs() const { return localNs() + 2 * upiNs; }
+    double
+    twoHopNs() const
+    {
+        return localNs() +
+               2 * (2 * upiNs + 2 * flexAsicNs + numalinkNs);
+    }
+    double poolNs() const { return localNs() + 2 * cxlOneWayNs; }
+
+    // --- Named configurations evaluated in the paper (§V) ---
+
+    /** Conventional 16-socket system (Fig 1 without the pool). */
+    static SystemConfig baseline16();
+
+    /** Baseline + CXL memory pool (default StarNUMA, §III). */
+    static SystemConfig starnuma16();
+
+    /** Fig 11: coherent links augmented to match pool bandwidth. */
+    static SystemConfig baselineIsoBW();
+
+    /** Fig 11: every coherent link's bandwidth doubled. */
+    static SystemConfig baseline2xBW();
+
+    /** Fig 11: StarNUMA with x4 (half-bandwidth) CXL links. */
+    static SystemConfig starnumaHalfBW();
+
+    /** Fig 10: pool behind a CXL switch (+90 ns roundtrip). */
+    static SystemConfig starnumaSwitched();
+
+    /** Fig 12: pool capacity of one socket (1/17 of footprint). */
+    static SystemConfig starnumaSmallPool();
+
+    /** §III-B scaling discussion: 32-socket StarNUMA variant. */
+    static SystemConfig starnuma32();
+
+    /** 32-socket baseline to pair with starnuma32(). */
+    static SystemConfig baseline32();
+};
+
+} // namespace topology
+} // namespace starnuma
+
+#endif // STARNUMA_TOPOLOGY_SYSTEM_CONFIG_HH

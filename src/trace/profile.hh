@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Page access-pattern characterization (Figs 2 and 13): the
+ * distribution of page sharing degree, the distribution of overall
+ * accesses across sharing degrees, and the read-write vs read-only
+ * split per degree. These are the measurements that motivate
+ * vagabond-page pooling (§II-B) and the replication discussion
+ * (§V-F).
+ */
+
+#ifndef STARNUMA_TRACE_PROFILE_HH
+#define STARNUMA_TRACE_PROFILE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+#include "trace/trace.hh"
+
+namespace starnuma
+{
+namespace trace
+{
+
+/** Sharing-degree distributions of one workload trace. */
+class SharingProfile
+{
+  public:
+    /**
+     * Build from a trace; threads map to sockets as
+     * thread / @p cores_per_socket.
+     */
+    SharingProfile(const WorkloadTrace &trace, int cores_per_socket,
+                   int sockets);
+
+    int sockets() const { return sockets_; }
+    std::uint64_t totalPages() const { return totalPages_; }
+    std::uint64_t totalAccesses() const { return totalAccesses_; }
+
+    /** Fraction of pages with exactly @p degree sharers. */
+    double pageFraction(int degree) const;
+
+    /** Fraction of accesses to pages with exactly @p degree. */
+    double accessFraction(int degree) const;
+
+    /** Fraction of pages with at most @p degree sharers. */
+    double pagesWithAtMost(int degree) const;
+
+    /** Fraction of accesses to pages with more than @p degree. */
+    double accessesAbove(int degree) const;
+
+    /**
+     * Of the accesses to pages with exactly @p degree sharers, the
+     * fraction that target read-write pages.
+     */
+    double readWriteAccessFraction(int degree) const;
+
+    /** Fraction of pages with exactly @p degree that are RW. */
+    double readWritePageFraction(int degree) const;
+
+    /**
+     * §II-B's estimate: assuming accesses to widely shared pages
+     * distribute uniformly across sockets, the fraction of them
+     * that cross chassis (12 of 16 sockets are remote chassis).
+     */
+    static double interChassisFraction(int sockets,
+                                       int sockets_per_chassis);
+
+  private:
+    int sockets_;
+    std::uint64_t totalPages_;
+    std::uint64_t totalAccesses_;
+    // Index 0 unused; degrees 1..sockets.
+    std::vector<std::uint64_t> pagesByDegree;
+    std::vector<std::uint64_t> accessesByDegree;
+    std::vector<std::uint64_t> rwPagesByDegree;
+    std::vector<std::uint64_t> rwAccessesByDegree;
+};
+
+} // namespace trace
+} // namespace starnuma
+
+#endif // STARNUMA_TRACE_PROFILE_HH

@@ -1,0 +1,142 @@
+#include "trace/trace.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sys/stat.h>
+
+namespace starnuma
+{
+namespace trace
+{
+
+namespace
+{
+
+constexpr std::uint64_t magic = 0x5354415254524332ULL; // "STARTRC2"
+
+bool
+writeBytes(std::FILE *f, const void *p, std::size_t n)
+{
+    if (n == 0)
+        return true; // empty vectors have a null data()
+    return std::fwrite(p, 1, n, f) == n;
+}
+
+bool
+readBytes(std::FILE *f, void *p, std::size_t n)
+{
+    if (n == 0)
+        return true;
+    return std::fread(p, 1, n, f) == n;
+}
+
+} // anonymous namespace
+
+std::uint64_t
+WorkloadTrace::totalRecords() const
+{
+    std::uint64_t total = 0;
+    for (const auto &t : perThread)
+        total += t.size();
+    return total;
+}
+
+double
+WorkloadTrace::recordsPerKiloInstruction() const
+{
+    std::uint64_t instr =
+        instructionsPerThread * static_cast<std::uint64_t>(threads);
+    return instr ? 1000.0 * totalRecords() / instr : 0.0;
+}
+
+bool
+WorkloadTrace::save(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    bool ok = true;
+    std::uint64_t name_len = workload.size();
+    std::uint64_t nthreads = threads;
+    std::uint64_t nft = firstTouches.size();
+    ok = ok && writeBytes(f, &magic, 8);
+    ok = ok && writeBytes(f, &name_len, 8);
+    ok = ok && writeBytes(f, workload.data(), name_len);
+    ok = ok && writeBytes(f, &nthreads, 8);
+    ok = ok && writeBytes(f, &instructionsPerThread, 8);
+    ok = ok && writeBytes(f, &footprintBytes, 8);
+    ok = ok && writeBytes(f, &nft, 8);
+    ok = ok && writeBytes(f, firstTouches.data(),
+                          nft * sizeof(FirstTouch));
+    std::uint64_t nwp = writtenPages.size();
+    ok = ok && writeBytes(f, &nwp, 8);
+    ok = ok && writeBytes(f, writtenPages.data(), nwp * sizeof(Addr));
+    for (const auto &t : perThread) {
+        std::uint64_t n = t.size();
+        ok = ok && writeBytes(f, &n, 8);
+        ok = ok && writeBytes(f, t.data(), n * sizeof(MemRecord));
+    }
+    std::fclose(f);
+    return ok;
+}
+
+bool
+WorkloadTrace::load(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    bool ok = true;
+    std::uint64_t m = 0, name_len = 0, nthreads = 0, nft = 0;
+    ok = ok && readBytes(f, &m, 8) && m == magic;
+    ok = ok && readBytes(f, &name_len, 8) && name_len < 4096;
+    if (ok) {
+        workload.resize(name_len);
+        ok = readBytes(f, workload.data(), name_len);
+    }
+    ok = ok && readBytes(f, &nthreads, 8);
+    ok = ok && readBytes(f, &instructionsPerThread, 8);
+    ok = ok && readBytes(f, &footprintBytes, 8);
+    ok = ok && readBytes(f, &nft, 8);
+    if (ok) {
+        threads = static_cast<int>(nthreads);
+        firstTouches.resize(nft);
+        ok = readBytes(f, firstTouches.data(),
+                       nft * sizeof(FirstTouch));
+    }
+    std::uint64_t nwp = 0;
+    ok = ok && readBytes(f, &nwp, 8);
+    if (ok) {
+        writtenPages.resize(nwp);
+        ok = readBytes(f, writtenPages.data(), nwp * sizeof(Addr));
+    }
+    if (ok) {
+        perThread.assign(nthreads, {});
+        for (auto &t : perThread) {
+            std::uint64_t n = 0;
+            ok = ok && readBytes(f, &n, 8);
+            if (!ok)
+                break;
+            t.resize(n);
+            ok = readBytes(f, t.data(), n * sizeof(MemRecord));
+            if (!ok)
+                break;
+        }
+    }
+    std::fclose(f);
+    return ok;
+}
+
+std::string
+traceCacheDir()
+{
+    const char *env = std::getenv("STARNUMA_TRACE_DIR");
+    std::string dir = env ? env : ".trace_cache";
+    if (dir.empty() || dir == "0" || dir == "off")
+        return "";
+    ::mkdir(dir.c_str(), 0755);
+    return dir;
+}
+
+} // namespace trace
+} // namespace starnuma

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Synthetic Kronecker (R-MAT) graph generation and the CSR
+ * representation shared by the four GAP kernels (§IV-E uses a
+ * Kronecker graph with average degree 32; we scale the vertex count
+ * down, which preserves the sharing-degree structure the paper's
+ * distributions depend on).
+ */
+
+#ifndef STARNUMA_WORKLOADS_GRAPH_HH
+#define STARNUMA_WORKLOADS_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace starnuma
+{
+namespace workloads
+{
+
+/** Undirected graph in CSR form with sorted adjacency lists. */
+struct CsrGraph
+{
+    std::uint32_t vertices = 0;
+    std::vector<std::uint64_t> offsets;   ///< size vertices + 1
+    std::vector<std::uint32_t> neighbors; ///< size 2 * edges
+
+    std::uint64_t
+    degree(std::uint32_t v) const
+    {
+        return offsets[v + 1] - offsets[v];
+    }
+
+    std::uint64_t directedEdges() const { return neighbors.size(); }
+
+    /**
+     * R-MAT generator (a=0.57, b=0.19, c=0.19, d=0.05 — the
+     * Graph500/GAP Kronecker parameters). Self-loops are dropped;
+     * duplicate edges are kept, as in GAP's generator.
+     *
+     * @param scale log2 of the vertex count.
+     * @param avg_degree average undirected degree.
+     */
+    static CsrGraph kronecker(int scale, int avg_degree, Rng &rng);
+};
+
+} // namespace workloads
+} // namespace starnuma
+
+#endif // STARNUMA_WORKLOADS_GRAPH_HH

@@ -1,0 +1,178 @@
+#include "workloads/kvstore.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace starnuma
+{
+namespace workloads
+{
+
+namespace
+{
+
+/** Simulated bytes per tree node (three cache lines). */
+constexpr Addr nodeBytes = 192;
+
+/** Simulated bytes per value. */
+constexpr Addr valueBytes = 64;
+
+} // anonymous namespace
+
+KvStore::KvStore(std::uint64_t seed, std::uint32_t keys,
+                 double read_fraction)
+    : seed(seed), numKeys(keys), readFraction(read_fraction)
+{
+}
+
+std::uint64_t
+KvStore::keyAt(std::uint32_t i) const
+{
+    return i; // dense key space; uniform popularity via index draw
+}
+
+void
+KvStore::setup(trace::CaptureContext &ctx, const SimScale &scale)
+{
+    int threads = scale.threads();
+    threadRng.clear();
+    for (int t = 0; t < threads; ++t)
+        threadRng.emplace_back(seed + 1000 + t);
+
+    // Bulk-load, bottom up. Leaves map keys to value ids.
+    nodes.clear();
+    values.assign(numKeys, 0);
+    std::vector<std::uint32_t> level;
+    std::vector<std::uint64_t> level_min;
+    for (std::uint32_t k = 0; k < numKeys; k += fanout) {
+        Node n;
+        n.leaf = true;
+        n.count = static_cast<int>(
+            std::min<std::uint32_t>(fanout, numKeys - k));
+        for (int i = 0; i < n.count; ++i) {
+            n.keys[i] = keyAt(k + i);
+            n.child[i] = k + i; // value id
+            values[k + i] = keyAt(k + i) * 3 + 1;
+        }
+        level.push_back(static_cast<std::uint32_t>(nodes.size()));
+        level_min.push_back(n.keys[0]);
+        nodes.push_back(n);
+    }
+    depth = 1;
+    while (level.size() > 1) {
+        std::vector<std::uint32_t> up;
+        std::vector<std::uint64_t> up_min;
+        for (std::size_t i = 0; i < level.size(); i += fanout + 1) {
+            Node n;
+            n.leaf = false;
+            std::size_t kids = std::min<std::size_t>(
+                fanout + 1, level.size() - i);
+            n.count = static_cast<int>(kids) - 1;
+            for (std::size_t j = 0; j < kids; ++j) {
+                n.child[j] = level[i + j];
+                if (j > 0)
+                    n.keys[j - 1] = level_min[i + j];
+            }
+            up.push_back(static_cast<std::uint32_t>(nodes.size()));
+            up_min.push_back(level_min[i]);
+            nodes.push_back(n);
+        }
+        level.swap(up);
+        level_min.swap(up_min);
+        ++depth;
+    }
+    root = level.front();
+
+    nodeMem.allocate(ctx, nodes.size() * nodeBytes);
+    valueMem.allocate(ctx, static_cast<Addr>(numKeys) * valueBytes);
+
+    // Partitioned load phase: thread t first-touches the values and
+    // leaves of its key range; the top of the tree lands wherever
+    // the finishing thread runs (here: thread 0).
+    for (int t = 0; t < threads; ++t) {
+        std::uint32_t lo = static_cast<std::uint32_t>(
+            static_cast<std::uint64_t>(numKeys) * t / threads);
+        std::uint32_t hi = static_cast<std::uint32_t>(
+            static_cast<std::uint64_t>(numKeys) * (t + 1) / threads);
+        for (std::uint32_t k = lo; k < hi; ++k)
+            ctx.store(t, valueMem.base() + k * valueBytes);
+        for (std::uint32_t leaf = lo / fanout;
+             leaf <= (hi ? (hi - 1) / fanout : 0); ++leaf)
+            ctx.store(t, nodeMem.base() + leaf * nodeBytes);
+    }
+    ThreadId finisher = threads / 2;
+    for (std::size_t n = numKeys / fanout + 1; n < nodes.size(); ++n)
+        ctx.store(finisher, nodeMem.base() + n * nodeBytes);
+}
+
+std::uint32_t
+KvStore::descend(trace::CaptureContext &ctx, ThreadId t,
+                 std::uint64_t key)
+{
+    std::uint32_t cur = root;
+    for (;;) {
+        const Node &n = nodes[cur];
+        Addr base = nodeMem.base() + cur * nodeBytes;
+        // A binary search over the node touches its key lines and
+        // the child-pointer line.
+        ctx.load(t, base);
+        ctx.load(t, base + 2 * blockBytes);
+        ctx.instr(t, 8);
+        if (n.leaf) {
+            const std::uint64_t *pos = std::lower_bound(
+                n.keys, n.keys + n.count, key);
+            sn_assert(pos != n.keys + n.count && *pos == key,
+                      "kvstore descend lost key");
+            return n.child[pos - n.keys];
+        }
+        const std::uint64_t *pos =
+            std::upper_bound(n.keys, n.keys + n.count, key);
+        cur = n.child[pos - n.keys];
+    }
+}
+
+void
+KvStore::step(ThreadId t, trace::CaptureContext &ctx)
+{
+    Rng &rng = threadRng[t];
+    std::uint32_t idx = rng.range32(numKeys);
+    std::uint64_t key = keyAt(idx);
+    std::uint32_t vid = descend(ctx, t, key);
+    Addr vaddr = valueMem.base() + static_cast<Addr>(vid) *
+                                       valueBytes;
+    if (rng.chance(readFraction)) {
+        ctx.load(t, vaddr);
+        ctx.instr(t, 12);
+    } else {
+        ctx.load(t, vaddr);
+        values[vid] = key * 7 + rng.next32() % 16;
+        ctx.store(t, vaddr);
+        ctx.instr(t, 14);
+    }
+}
+
+bool
+KvStore::lookupValue(std::uint64_t key, std::uint64_t *out) const
+{
+    if (key >= numKeys)
+        return false;
+    std::uint32_t cur = root;
+    for (;;) {
+        const Node &n = nodes[cur];
+        if (n.leaf) {
+            const std::uint64_t *pos = std::lower_bound(
+                n.keys, n.keys + n.count, key);
+            if (pos == n.keys + n.count || *pos != key)
+                return false;
+            *out = values[n.child[pos - n.keys]];
+            return true;
+        }
+        const std::uint64_t *pos =
+            std::upper_bound(n.keys, n.keys + n.count, key);
+        cur = n.child[pos - n.keys];
+    }
+}
+
+} // namespace workloads
+} // namespace starnuma

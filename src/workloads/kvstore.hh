@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Data-serving workload: a B+-tree keyed store standing in for
+ * Masstree (§IV-E: uniform key popularity, 50/50 read/write). The
+ * tree's upper levels are the widely shared hot set; uniform value
+ * reads/writes spread read-write sharing across the whole leaf and
+ * value space — the access structure behind Masstree's 100%
+ * migrations-to-pool in Table IV.
+ */
+
+#ifndef STARNUMA_WORKLOADS_KVSTORE_HH
+#define STARNUMA_WORKLOADS_KVSTORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "workloads/workload.hh"
+
+namespace starnuma
+{
+namespace workloads
+{
+
+/** Fixed-fanout B+-tree over uint64 keys with 64 B values. */
+class KvStore : public Workload
+{
+  public:
+    explicit KvStore(std::uint64_t seed, std::uint32_t keys = 1u
+                                                             << 19,
+                     double read_fraction = 0.5);
+
+    std::string name() const override { return "masstree"; }
+    void setup(trace::CaptureContext &ctx,
+               const SimScale &scale) override;
+    void step(ThreadId t, trace::CaptureContext &ctx) override;
+
+    /** Untraced lookup, for correctness tests. */
+    bool lookupValue(std::uint64_t key, std::uint64_t *out) const;
+
+    int treeDepth() const { return depth; }
+
+  private:
+    static constexpr int fanout = 14; ///< keys per node
+
+    struct Node
+    {
+        std::uint64_t keys[fanout];
+        std::uint32_t child[fanout + 1]; ///< node id or value id
+        int count = 0;
+        bool leaf = true;
+    };
+
+    /** Traced root-to-leaf descent; returns the value id. */
+    std::uint32_t descend(trace::CaptureContext &ctx, ThreadId t,
+                          std::uint64_t key);
+
+    std::uint64_t keyAt(std::uint32_t i) const;
+
+    std::uint64_t seed;
+    std::uint32_t numKeys;
+    double readFraction;
+    int depth = 0;
+    std::uint32_t root = 0;
+
+    std::vector<Node> nodes;
+    trace::TracedArray<std::uint8_t> nodeMem;  ///< node storage
+    trace::TracedArray<std::uint8_t> valueMem; ///< 64 B per value
+    std::vector<std::uint64_t> values;
+    std::vector<Rng> threadRng;
+};
+
+} // namespace workloads
+} // namespace starnuma
+
+#endif // STARNUMA_WORKLOADS_KVSTORE_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the closed-form latency analytics: the Fig 3 breakdown,
+ * the §III-C block-transfer averages (333 ns / 200 ns), and the
+ * §II-C worked AMAT example (160 ns -> 112 ns).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analytic/amat.hh"
+
+namespace starnuma
+{
+namespace analytic
+{
+namespace
+{
+
+using topology::SystemConfig;
+using topology::Topology;
+
+TEST(CxlBreakdown, ComponentsSumToOverhead)
+{
+    SystemConfig cfg = SystemConfig::starnuma16();
+    auto parts = cxlLatencyBreakdown(cfg);
+    double sum = 0;
+    for (const auto &p : parts)
+        sum += p.ns;
+    // Fig 3: ports 50 + retimer 20 + flight 10 + MHD 20 = 100 ns.
+    EXPECT_DOUBLE_EQ(sum, 100.0);
+    EXPECT_EQ(parts.size(), 4u);
+}
+
+TEST(CxlBreakdown, SwitchedConfigAddsSwitchComponent)
+{
+    SystemConfig cfg = SystemConfig::starnumaSwitched();
+    auto parts = cxlLatencyBreakdown(cfg);
+    double sum = 0;
+    for (const auto &p : parts)
+        sum += p.ns;
+    EXPECT_DOUBLE_EQ(sum, 190.0);
+    EXPECT_EQ(parts.back().ns, 90.0); // the CXL switch
+}
+
+TEST(CxlBreakdown, EndToEndPoolLatency)
+{
+    EXPECT_DOUBLE_EQ(
+        poolAccessLatencyNs(SystemConfig::starnuma16()), 180.0);
+    EXPECT_DOUBLE_EQ(
+        poolAccessLatencyNs(SystemConfig::starnumaSwitched()),
+        270.0);
+}
+
+TEST(BlockTransfer, ThreeHopAverageMatchesPaper)
+{
+    // §III-C: "the average (unloaded) 3-hop cache block transfer
+    // latency is 333ns, derived by averaging the cumulative latency
+    // of the three traversed links for all possible R, H, O socket
+    // combinations".
+    Topology topo(SystemConfig::starnuma16());
+    double avg = averageThreeHopNs(topo);
+    EXPECT_NEAR(avg, 333.0, 20.0); // measured 315 ns: see EXPERIMENTS.md
+}
+
+TEST(BlockTransfer, FourHopViaPoolMatchesPaper)
+{
+    // §III-C: two roundtrips over two CXL links = 200 ns.
+    Topology topo(SystemConfig::starnuma16());
+    EXPECT_NEAR(fourHopViaPoolNs(topo), 200.0, 2.0);
+}
+
+TEST(BlockTransfer, PoolPathBeatsThreeHopOnAverage)
+{
+    // The counter-intuitive §III-C result: 4 hops through the pool
+    // are faster than the 3-hop socket transfer on average.
+    Topology topo(SystemConfig::starnuma16());
+    EXPECT_LT(fourHopViaPoolNs(topo), averageThreeHopNs(topo));
+}
+
+TEST(FirstOrderAmat, PaperWorkedExample)
+{
+    // §II-C: 36% of accesses to fully shared pages, uniformly
+    // spread -> AMAT 160 ns; placing them in the pool -> 112 ns.
+    SystemConfig cfg = SystemConfig::starnuma16();
+    EXPECT_NEAR(firstOrderAmatNs(cfg, 0.36, false), 160.0, 1.0);
+    EXPECT_NEAR(firstOrderAmatNs(cfg, 0.36, true), 112.0, 1.0);
+}
+
+TEST(FirstOrderAmat, NoSharingMeansLocal)
+{
+    SystemConfig cfg = SystemConfig::starnuma16();
+    EXPECT_DOUBLE_EQ(firstOrderAmatNs(cfg, 0.0, false), 80.0);
+    EXPECT_DOUBLE_EQ(firstOrderAmatNs(cfg, 0.0, true), 80.0);
+}
+
+TEST(FirstOrderAmat, PoolAlwaysWinsForSharedAccesses)
+{
+    SystemConfig cfg = SystemConfig::starnuma16();
+    for (double f : {0.1, 0.3, 0.5, 0.9})
+        EXPECT_LT(firstOrderAmatNs(cfg, f, true),
+                  firstOrderAmatNs(cfg, f, false))
+            << "fraction " << f;
+}
+
+} // anonymous namespace
+} // namespace analytic
+} // namespace starnuma

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Coverage for the long-tail APIs: link statistics, event-queue
+ * accessors, trace caching, traced-array plumbing, and the
+ * panic-on-misuse paths (death tests).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "mem/cache.hh"
+#include "sim/event_queue.hh"
+#include "sim/table.hh"
+#include "topology/link.hh"
+#include "topology/topology.hh"
+#include "trace/capture.hh"
+#include "trace/trace.hh"
+
+namespace starnuma
+{
+namespace
+{
+
+using topology::Dir;
+using topology::Link;
+using topology::LinkType;
+
+TEST(LinkStats, BytesBusyAndQueueAccounting)
+{
+    Link link(LinkType::UPI, 3.0, nsToCycles(25), "test-link");
+    EXPECT_EQ(link.bandwidthGbps(), 3.0);
+    EXPECT_EQ(link.name(), "test-link");
+
+    Cycles a1 = link.transfer(Dir::Forward, 0, 72);
+    Cycles a2 = link.transfer(Dir::Forward, 0, 72);
+    EXPECT_GT(a2, a1);
+    EXPECT_EQ(link.bytesMoved(Dir::Forward), 144u);
+    EXPECT_EQ(link.bytesMoved(Dir::Backward), 0u);
+    EXPECT_EQ(link.busyCycles(Dir::Forward),
+              2 * serializationCycles(72, 3.0));
+    // The second message queued for one serialization slot.
+    EXPECT_DOUBLE_EQ(
+        link.meanQueueDelay(Dir::Forward),
+        serializationCycles(72, 3.0) / 2.0);
+    EXPECT_GT(link.utilization(Dir::Forward, 1000), 0.0);
+    EXPECT_EQ(link.utilization(Dir::Forward, 0), 0.0);
+}
+
+TEST(LinkStats, UnloadedArrivalDoesNotMutate)
+{
+    Link link(LinkType::CXL, 6.0, nsToCycles(50), "cxl");
+    Cycles probe = link.unloadedArrival(100, 72);
+    EXPECT_EQ(probe,
+              100 + serializationCycles(72, 6.0) + nsToCycles(50));
+    EXPECT_EQ(link.bytesMoved(Dir::Forward), 0u);
+    // A real transfer now still starts from an idle link.
+    EXPECT_EQ(link.transfer(Dir::Forward, 100, 72), probe);
+}
+
+TEST(EventQueueAccessors, PendingAndEmpty)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    q.schedule(5, [] {});
+    q.schedule(9, [] {});
+    EXPECT_EQ(q.pending(), 2u);
+    EXPECT_FALSE(q.empty());
+    q.run();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.now(), 9u);
+}
+
+TEST(TraceCache, CachedGeneratesOnceThenLoads)
+{
+    std::string dir = ::testing::TempDir() + "trace_cache_test";
+    setenv("STARNUMA_TRACE_DIR", dir.c_str(), 1);
+    // TempDir persists across test runs: start from a clean slate.
+    std::remove((dir + "/coverage-key.trace").c_str());
+    int generated = 0;
+    auto gen = [&] {
+        ++generated;
+        trace::WorkloadTrace t;
+        t.workload = "gen";
+        t.threads = 1;
+        t.instructionsPerThread = 10;
+        t.perThread.resize(1);
+        t.perThread[0].emplace_back(1, 0x1000, false);
+        return t;
+    };
+    auto a = trace::cached("coverage-key", gen);
+    auto b = trace::cached("coverage-key", gen);
+    EXPECT_EQ(generated, 1);
+    EXPECT_EQ(a.totalRecords(), b.totalRecords());
+    EXPECT_EQ(b.workload, "gen");
+    setenv("STARNUMA_TRACE_DIR", "off", 1);
+    auto c = trace::cached("coverage-key", gen);
+    EXPECT_EQ(generated, 2); // caching disabled
+    (void)c;
+    unsetenv("STARNUMA_TRACE_DIR");
+}
+
+TEST(TracedArrayApi, ReadWriteAndAddressing)
+{
+    trace::CaptureContext ctx(1);
+    trace::TracedArray<std::uint32_t> arr;
+    arr.allocate(ctx, 100);
+    EXPECT_EQ(arr.size(), 100u);
+    EXPECT_EQ(arr.addrOf(3), arr.base() + 12);
+    arr.write(ctx, 0, 7, 42);
+    EXPECT_EQ(arr.read(ctx, 0, 7), 42u);
+    EXPECT_EQ(arr[7], 42u);
+    EXPECT_EQ(ctx.instructions(0), 2u); // one store + one load
+}
+
+TEST(CaptureAccessors, MinInstructions)
+{
+    trace::CaptureContext ctx(3);
+    ctx.instr(0, 10);
+    ctx.instr(1, 5);
+    ctx.instr(2, 20);
+    EXPECT_EQ(ctx.minInstructions(), 5u);
+}
+
+// --- panic-on-misuse (death tests) ---
+
+using CoverageDeathTest = ::testing::Test;
+
+TEST(CoverageDeathTest, TableRowWidthMismatchPanics)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "assertion");
+}
+
+TEST(CoverageDeathTest, EventQueueSchedulingIntoPastPanics)
+{
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.run();
+    EXPECT_DEATH(q.schedule(50, [] {}), "assertion");
+}
+
+TEST(CoverageDeathTest, RouteOutOfRangePanics)
+{
+    topology::Topology t(topology::SystemConfig::baseline16());
+    EXPECT_DEATH(t.route(0, 99), "assertion");
+}
+
+TEST(CoverageDeathTest, BadCacheGeometryPanics)
+{
+    EXPECT_DEATH(mem::Cache({0, 4}), "assertion");
+    EXPECT_DEATH(mem::Cache({4096, 0}), "assertion");
+}
+
+} // anonymous namespace
+} // namespace starnuma
