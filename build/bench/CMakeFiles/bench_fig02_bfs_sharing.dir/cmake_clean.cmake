@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_bfs_sharing.dir/bench_fig02_bfs_sharing.cc.o"
+  "CMakeFiles/bench_fig02_bfs_sharing.dir/bench_fig02_bfs_sharing.cc.o.d"
+  "CMakeFiles/bench_fig02_bfs_sharing.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig02_bfs_sharing.dir/bench_util.cc.o.d"
+  "bench_fig02_bfs_sharing"
+  "bench_fig02_bfs_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_bfs_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

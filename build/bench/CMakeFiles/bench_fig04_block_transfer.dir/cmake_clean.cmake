@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_block_transfer.dir/bench_fig04_block_transfer.cc.o"
+  "CMakeFiles/bench_fig04_block_transfer.dir/bench_fig04_block_transfer.cc.o.d"
+  "CMakeFiles/bench_fig04_block_transfer.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig04_block_transfer.dir/bench_util.cc.o.d"
+  "bench_fig04_block_transfer"
+  "bench_fig04_block_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_block_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

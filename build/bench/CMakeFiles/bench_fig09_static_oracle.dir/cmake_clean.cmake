@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_static_oracle.dir/bench_fig09_static_oracle.cc.o"
+  "CMakeFiles/bench_fig09_static_oracle.dir/bench_fig09_static_oracle.cc.o.d"
+  "CMakeFiles/bench_fig09_static_oracle.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig09_static_oracle.dir/bench_util.cc.o.d"
+  "bench_fig09_static_oracle"
+  "bench_fig09_static_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_static_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_pool_latency.dir/bench_fig10_pool_latency.cc.o"
+  "CMakeFiles/bench_fig10_pool_latency.dir/bench_fig10_pool_latency.cc.o.d"
+  "CMakeFiles/bench_fig10_pool_latency.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig10_pool_latency.dir/bench_util.cc.o.d"
+  "bench_fig10_pool_latency"
+  "bench_fig10_pool_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_pool_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

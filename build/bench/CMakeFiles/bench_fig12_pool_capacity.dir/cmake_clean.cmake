@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_pool_capacity.dir/bench_fig12_pool_capacity.cc.o"
+  "CMakeFiles/bench_fig12_pool_capacity.dir/bench_fig12_pool_capacity.cc.o.d"
+  "CMakeFiles/bench_fig12_pool_capacity.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig12_pool_capacity.dir/bench_util.cc.o.d"
+  "bench_fig12_pool_capacity"
+  "bench_fig12_pool_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_pool_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_sim_configs.dir/bench_fig14_sim_configs.cc.o"
+  "CMakeFiles/bench_fig14_sim_configs.dir/bench_fig14_sim_configs.cc.o.d"
+  "CMakeFiles/bench_fig14_sim_configs.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig14_sim_configs.dir/bench_util.cc.o.d"
+  "bench_fig14_sim_configs"
+  "bench_fig14_sim_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_sim_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scale32.dir/bench_scale32.cc.o"
+  "CMakeFiles/bench_scale32.dir/bench_scale32.cc.o.d"
+  "CMakeFiles/bench_scale32.dir/bench_util.cc.o"
+  "CMakeFiles/bench_scale32.dir/bench_util.cc.o.d"
+  "bench_scale32"
+  "bench_scale32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scale32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

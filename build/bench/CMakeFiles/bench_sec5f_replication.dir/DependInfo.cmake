@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sec5f_replication.cc" "bench/CMakeFiles/bench_sec5f_replication.dir/bench_sec5f_replication.cc.o" "gcc" "bench/CMakeFiles/bench_sec5f_replication.dir/bench_sec5f_replication.cc.o.d"
+  "/root/repo/bench/bench_util.cc" "bench/CMakeFiles/bench_sec5f_replication.dir/bench_util.cc.o" "gcc" "bench/CMakeFiles/bench_sec5f_replication.dir/bench_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/starnuma_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starnuma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starnuma_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starnuma_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starnuma_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starnuma_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starnuma_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starnuma_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5f_replication.dir/bench_sec5f_replication.cc.o"
+  "CMakeFiles/bench_sec5f_replication.dir/bench_sec5f_replication.cc.o.d"
+  "CMakeFiles/bench_sec5f_replication.dir/bench_util.cc.o"
+  "CMakeFiles/bench_sec5f_replication.dir/bench_util.cc.o.d"
+  "bench_sec5f_replication"
+  "bench_sec5f_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5f_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_pool_migrations.dir/bench_table4_pool_migrations.cc.o"
+  "CMakeFiles/bench_table4_pool_migrations.dir/bench_table4_pool_migrations.cc.o.d"
+  "CMakeFiles/bench_table4_pool_migrations.dir/bench_util.cc.o"
+  "CMakeFiles/bench_table4_pool_migrations.dir/bench_util.cc.o.d"
+  "bench_table4_pool_migrations"
+  "bench_table4_pool_migrations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_pool_migrations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_starnuma_cli.dir/starnuma_cli.cpp.o"
+  "CMakeFiles/example_starnuma_cli.dir/starnuma_cli.cpp.o.d"
+  "example_starnuma_cli"
+  "example_starnuma_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_starnuma_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starnuma_analytic.dir/analytic/amat.cc.o"
+  "CMakeFiles/starnuma_analytic.dir/analytic/amat.cc.o.d"
+  "libstarnuma_analytic.a"
+  "libstarnuma_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starnuma_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

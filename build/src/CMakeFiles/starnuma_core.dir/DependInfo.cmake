@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/migration.cc" "src/CMakeFiles/starnuma_core.dir/core/migration.cc.o" "gcc" "src/CMakeFiles/starnuma_core.dir/core/migration.cc.o.d"
+  "/root/repo/src/core/oracle.cc" "src/CMakeFiles/starnuma_core.dir/core/oracle.cc.o" "gcc" "src/CMakeFiles/starnuma_core.dir/core/oracle.cc.o.d"
+  "/root/repo/src/core/page_stats.cc" "src/CMakeFiles/starnuma_core.dir/core/page_stats.cc.o" "gcc" "src/CMakeFiles/starnuma_core.dir/core/page_stats.cc.o.d"
+  "/root/repo/src/core/perfect_policy.cc" "src/CMakeFiles/starnuma_core.dir/core/perfect_policy.cc.o" "gcc" "src/CMakeFiles/starnuma_core.dir/core/perfect_policy.cc.o.d"
+  "/root/repo/src/core/region_tracker.cc" "src/CMakeFiles/starnuma_core.dir/core/region_tracker.cc.o" "gcc" "src/CMakeFiles/starnuma_core.dir/core/region_tracker.cc.o.d"
+  "/root/repo/src/core/replication.cc" "src/CMakeFiles/starnuma_core.dir/core/replication.cc.o" "gcc" "src/CMakeFiles/starnuma_core.dir/core/replication.cc.o.d"
+  "/root/repo/src/core/tlb_annex.cc" "src/CMakeFiles/starnuma_core.dir/core/tlb_annex.cc.o" "gcc" "src/CMakeFiles/starnuma_core.dir/core/tlb_annex.cc.o.d"
+  "/root/repo/src/core/tlb_directory.cc" "src/CMakeFiles/starnuma_core.dir/core/tlb_directory.cc.o" "gcc" "src/CMakeFiles/starnuma_core.dir/core/tlb_directory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/starnuma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starnuma_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starnuma_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starnuma_core.dir/core/migration.cc.o"
+  "CMakeFiles/starnuma_core.dir/core/migration.cc.o.d"
+  "CMakeFiles/starnuma_core.dir/core/oracle.cc.o"
+  "CMakeFiles/starnuma_core.dir/core/oracle.cc.o.d"
+  "CMakeFiles/starnuma_core.dir/core/page_stats.cc.o"
+  "CMakeFiles/starnuma_core.dir/core/page_stats.cc.o.d"
+  "CMakeFiles/starnuma_core.dir/core/perfect_policy.cc.o"
+  "CMakeFiles/starnuma_core.dir/core/perfect_policy.cc.o.d"
+  "CMakeFiles/starnuma_core.dir/core/region_tracker.cc.o"
+  "CMakeFiles/starnuma_core.dir/core/region_tracker.cc.o.d"
+  "CMakeFiles/starnuma_core.dir/core/replication.cc.o"
+  "CMakeFiles/starnuma_core.dir/core/replication.cc.o.d"
+  "CMakeFiles/starnuma_core.dir/core/tlb_annex.cc.o"
+  "CMakeFiles/starnuma_core.dir/core/tlb_annex.cc.o.d"
+  "CMakeFiles/starnuma_core.dir/core/tlb_directory.cc.o"
+  "CMakeFiles/starnuma_core.dir/core/tlb_directory.cc.o.d"
+  "libstarnuma_core.a"
+  "libstarnuma_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starnuma_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/experiment.cc" "src/CMakeFiles/starnuma_driver.dir/driver/experiment.cc.o" "gcc" "src/CMakeFiles/starnuma_driver.dir/driver/experiment.cc.o.d"
+  "/root/repo/src/driver/metrics.cc" "src/CMakeFiles/starnuma_driver.dir/driver/metrics.cc.o" "gcc" "src/CMakeFiles/starnuma_driver.dir/driver/metrics.cc.o.d"
+  "/root/repo/src/driver/system_setup.cc" "src/CMakeFiles/starnuma_driver.dir/driver/system_setup.cc.o" "gcc" "src/CMakeFiles/starnuma_driver.dir/driver/system_setup.cc.o.d"
+  "/root/repo/src/driver/timing_sim.cc" "src/CMakeFiles/starnuma_driver.dir/driver/timing_sim.cc.o" "gcc" "src/CMakeFiles/starnuma_driver.dir/driver/timing_sim.cc.o.d"
+  "/root/repo/src/driver/trace_sim.cc" "src/CMakeFiles/starnuma_driver.dir/driver/trace_sim.cc.o" "gcc" "src/CMakeFiles/starnuma_driver.dir/driver/trace_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/starnuma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starnuma_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starnuma_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starnuma_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starnuma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starnuma_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starnuma_analytic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

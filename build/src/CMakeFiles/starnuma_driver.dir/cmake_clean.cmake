@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starnuma_driver.dir/driver/experiment.cc.o"
+  "CMakeFiles/starnuma_driver.dir/driver/experiment.cc.o.d"
+  "CMakeFiles/starnuma_driver.dir/driver/metrics.cc.o"
+  "CMakeFiles/starnuma_driver.dir/driver/metrics.cc.o.d"
+  "CMakeFiles/starnuma_driver.dir/driver/system_setup.cc.o"
+  "CMakeFiles/starnuma_driver.dir/driver/system_setup.cc.o.d"
+  "CMakeFiles/starnuma_driver.dir/driver/timing_sim.cc.o"
+  "CMakeFiles/starnuma_driver.dir/driver/timing_sim.cc.o.d"
+  "CMakeFiles/starnuma_driver.dir/driver/trace_sim.cc.o"
+  "CMakeFiles/starnuma_driver.dir/driver/trace_sim.cc.o.d"
+  "libstarnuma_driver.a"
+  "libstarnuma_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starnuma_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

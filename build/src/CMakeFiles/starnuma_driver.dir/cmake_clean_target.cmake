@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstarnuma_driver.a"
+)

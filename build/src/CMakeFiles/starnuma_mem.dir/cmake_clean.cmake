@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starnuma_mem.dir/mem/cache.cc.o"
+  "CMakeFiles/starnuma_mem.dir/mem/cache.cc.o.d"
+  "CMakeFiles/starnuma_mem.dir/mem/directory.cc.o"
+  "CMakeFiles/starnuma_mem.dir/mem/directory.cc.o.d"
+  "CMakeFiles/starnuma_mem.dir/mem/dram.cc.o"
+  "CMakeFiles/starnuma_mem.dir/mem/dram.cc.o.d"
+  "CMakeFiles/starnuma_mem.dir/mem/page_map.cc.o"
+  "CMakeFiles/starnuma_mem.dir/mem/page_map.cc.o.d"
+  "libstarnuma_mem.a"
+  "libstarnuma_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starnuma_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starnuma_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/starnuma_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/starnuma_sim.dir/sim/logging.cc.o"
+  "CMakeFiles/starnuma_sim.dir/sim/logging.cc.o.d"
+  "CMakeFiles/starnuma_sim.dir/sim/rng.cc.o"
+  "CMakeFiles/starnuma_sim.dir/sim/rng.cc.o.d"
+  "CMakeFiles/starnuma_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/starnuma_sim.dir/sim/stats.cc.o.d"
+  "CMakeFiles/starnuma_sim.dir/sim/table.cc.o"
+  "CMakeFiles/starnuma_sim.dir/sim/table.cc.o.d"
+  "libstarnuma_sim.a"
+  "libstarnuma_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starnuma_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

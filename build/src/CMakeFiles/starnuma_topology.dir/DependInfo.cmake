@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/link.cc" "src/CMakeFiles/starnuma_topology.dir/topology/link.cc.o" "gcc" "src/CMakeFiles/starnuma_topology.dir/topology/link.cc.o.d"
+  "/root/repo/src/topology/system_config.cc" "src/CMakeFiles/starnuma_topology.dir/topology/system_config.cc.o" "gcc" "src/CMakeFiles/starnuma_topology.dir/topology/system_config.cc.o.d"
+  "/root/repo/src/topology/topology.cc" "src/CMakeFiles/starnuma_topology.dir/topology/topology.cc.o" "gcc" "src/CMakeFiles/starnuma_topology.dir/topology/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/starnuma_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

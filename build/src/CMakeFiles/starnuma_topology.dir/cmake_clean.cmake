@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starnuma_topology.dir/topology/link.cc.o"
+  "CMakeFiles/starnuma_topology.dir/topology/link.cc.o.d"
+  "CMakeFiles/starnuma_topology.dir/topology/system_config.cc.o"
+  "CMakeFiles/starnuma_topology.dir/topology/system_config.cc.o.d"
+  "CMakeFiles/starnuma_topology.dir/topology/topology.cc.o"
+  "CMakeFiles/starnuma_topology.dir/topology/topology.cc.o.d"
+  "libstarnuma_topology.a"
+  "libstarnuma_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starnuma_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starnuma_trace.dir/trace/capture.cc.o"
+  "CMakeFiles/starnuma_trace.dir/trace/capture.cc.o.d"
+  "CMakeFiles/starnuma_trace.dir/trace/profile.cc.o"
+  "CMakeFiles/starnuma_trace.dir/trace/profile.cc.o.d"
+  "CMakeFiles/starnuma_trace.dir/trace/trace.cc.o"
+  "CMakeFiles/starnuma_trace.dir/trace/trace.cc.o.d"
+  "libstarnuma_trace.a"
+  "libstarnuma_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starnuma_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/gap.cc" "src/CMakeFiles/starnuma_workloads.dir/workloads/gap.cc.o" "gcc" "src/CMakeFiles/starnuma_workloads.dir/workloads/gap.cc.o.d"
+  "/root/repo/src/workloads/genomics.cc" "src/CMakeFiles/starnuma_workloads.dir/workloads/genomics.cc.o" "gcc" "src/CMakeFiles/starnuma_workloads.dir/workloads/genomics.cc.o.d"
+  "/root/repo/src/workloads/graph.cc" "src/CMakeFiles/starnuma_workloads.dir/workloads/graph.cc.o" "gcc" "src/CMakeFiles/starnuma_workloads.dir/workloads/graph.cc.o.d"
+  "/root/repo/src/workloads/kvstore.cc" "src/CMakeFiles/starnuma_workloads.dir/workloads/kvstore.cc.o" "gcc" "src/CMakeFiles/starnuma_workloads.dir/workloads/kvstore.cc.o.d"
+  "/root/repo/src/workloads/tpcc.cc" "src/CMakeFiles/starnuma_workloads.dir/workloads/tpcc.cc.o" "gcc" "src/CMakeFiles/starnuma_workloads.dir/workloads/tpcc.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/starnuma_workloads.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/starnuma_workloads.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/starnuma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starnuma_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starnuma_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starnuma_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

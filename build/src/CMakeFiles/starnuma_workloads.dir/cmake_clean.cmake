@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starnuma_workloads.dir/workloads/gap.cc.o"
+  "CMakeFiles/starnuma_workloads.dir/workloads/gap.cc.o.d"
+  "CMakeFiles/starnuma_workloads.dir/workloads/genomics.cc.o"
+  "CMakeFiles/starnuma_workloads.dir/workloads/genomics.cc.o.d"
+  "CMakeFiles/starnuma_workloads.dir/workloads/graph.cc.o"
+  "CMakeFiles/starnuma_workloads.dir/workloads/graph.cc.o.d"
+  "CMakeFiles/starnuma_workloads.dir/workloads/kvstore.cc.o"
+  "CMakeFiles/starnuma_workloads.dir/workloads/kvstore.cc.o.d"
+  "CMakeFiles/starnuma_workloads.dir/workloads/tpcc.cc.o"
+  "CMakeFiles/starnuma_workloads.dir/workloads/tpcc.cc.o.d"
+  "CMakeFiles/starnuma_workloads.dir/workloads/workload.cc.o"
+  "CMakeFiles/starnuma_workloads.dir/workloads/workload.cc.o.d"
+  "libstarnuma_workloads.a"
+  "libstarnuma_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starnuma_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

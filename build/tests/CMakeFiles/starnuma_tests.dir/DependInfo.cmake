@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analytic_test.cc" "tests/CMakeFiles/starnuma_tests.dir/analytic_test.cc.o" "gcc" "tests/CMakeFiles/starnuma_tests.dir/analytic_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/starnuma_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/starnuma_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/coverage_test.cc" "tests/CMakeFiles/starnuma_tests.dir/coverage_test.cc.o" "gcc" "tests/CMakeFiles/starnuma_tests.dir/coverage_test.cc.o.d"
+  "/root/repo/tests/driver_test.cc" "tests/CMakeFiles/starnuma_tests.dir/driver_test.cc.o" "gcc" "tests/CMakeFiles/starnuma_tests.dir/driver_test.cc.o.d"
+  "/root/repo/tests/kernel_correctness_test.cc" "tests/CMakeFiles/starnuma_tests.dir/kernel_correctness_test.cc.o" "gcc" "tests/CMakeFiles/starnuma_tests.dir/kernel_correctness_test.cc.o.d"
+  "/root/repo/tests/mem_test.cc" "tests/CMakeFiles/starnuma_tests.dir/mem_test.cc.o" "gcc" "tests/CMakeFiles/starnuma_tests.dir/mem_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/starnuma_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/starnuma_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/replication_test.cc" "tests/CMakeFiles/starnuma_tests.dir/replication_test.cc.o" "gcc" "tests/CMakeFiles/starnuma_tests.dir/replication_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/starnuma_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/starnuma_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/system_sweep_test.cc" "tests/CMakeFiles/starnuma_tests.dir/system_sweep_test.cc.o" "gcc" "tests/CMakeFiles/starnuma_tests.dir/system_sweep_test.cc.o.d"
+  "/root/repo/tests/topology_test.cc" "tests/CMakeFiles/starnuma_tests.dir/topology_test.cc.o" "gcc" "tests/CMakeFiles/starnuma_tests.dir/topology_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/starnuma_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/starnuma_tests.dir/trace_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/starnuma_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/starnuma_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/starnuma_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starnuma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starnuma_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starnuma_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starnuma_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starnuma_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starnuma_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starnuma_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starnuma_tests.dir/analytic_test.cc.o"
+  "CMakeFiles/starnuma_tests.dir/analytic_test.cc.o.d"
+  "CMakeFiles/starnuma_tests.dir/core_test.cc.o"
+  "CMakeFiles/starnuma_tests.dir/core_test.cc.o.d"
+  "CMakeFiles/starnuma_tests.dir/coverage_test.cc.o"
+  "CMakeFiles/starnuma_tests.dir/coverage_test.cc.o.d"
+  "CMakeFiles/starnuma_tests.dir/driver_test.cc.o"
+  "CMakeFiles/starnuma_tests.dir/driver_test.cc.o.d"
+  "CMakeFiles/starnuma_tests.dir/kernel_correctness_test.cc.o"
+  "CMakeFiles/starnuma_tests.dir/kernel_correctness_test.cc.o.d"
+  "CMakeFiles/starnuma_tests.dir/mem_test.cc.o"
+  "CMakeFiles/starnuma_tests.dir/mem_test.cc.o.d"
+  "CMakeFiles/starnuma_tests.dir/property_test.cc.o"
+  "CMakeFiles/starnuma_tests.dir/property_test.cc.o.d"
+  "CMakeFiles/starnuma_tests.dir/replication_test.cc.o"
+  "CMakeFiles/starnuma_tests.dir/replication_test.cc.o.d"
+  "CMakeFiles/starnuma_tests.dir/sim_test.cc.o"
+  "CMakeFiles/starnuma_tests.dir/sim_test.cc.o.d"
+  "CMakeFiles/starnuma_tests.dir/system_sweep_test.cc.o"
+  "CMakeFiles/starnuma_tests.dir/system_sweep_test.cc.o.d"
+  "CMakeFiles/starnuma_tests.dir/topology_test.cc.o"
+  "CMakeFiles/starnuma_tests.dir/topology_test.cc.o.d"
+  "CMakeFiles/starnuma_tests.dir/trace_test.cc.o"
+  "CMakeFiles/starnuma_tests.dir/trace_test.cc.o.d"
+  "CMakeFiles/starnuma_tests.dir/workload_test.cc.o"
+  "CMakeFiles/starnuma_tests.dir/workload_test.cc.o.d"
+  "starnuma_tests"
+  "starnuma_tests.pdb"
+  "starnuma_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starnuma_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
