@@ -65,6 +65,18 @@ BM_Fig14(benchmark::State &state, const std::string &workload,
 int
 main(int argc, char **argv)
 {
+    // Every (workload, system, simulation-config) pipeline is
+    // independent — sweep them all across the pool up front.
+    std::vector<driver::SweepJob> jobs;
+    for (const auto &[label, scale] : simConfigs())
+        for (auto &job : driver::crossJobs(
+                 fig14Workloads(),
+                 {driver::SystemSetup::baseline(),
+                  driver::SystemSetup::starnuma()},
+                 scale))
+            jobs.push_back(std::move(job));
+    benchutil::prewarm(jobs);
+
     for (const auto &w : fig14Workloads())
         for (const auto &[label, scale] : simConfigs())
             benchmark::RegisterBenchmark(

@@ -47,14 +47,24 @@ BM_Table3_Workload(benchmark::State &state,
 int
 main(int argc, char **argv)
 {
+    SimScale scale = benchScale();
+
+    // One sweep covers both halves of the table: the 16-socket
+    // baseline runs and the single-socket local-memory references.
+    std::vector<driver::SweepJob> jobs = driver::crossJobs(
+        benchutil::benchWorkloads(),
+        {driver::SystemSetup::baseline()}, scale);
+    for (const auto &w : benchutil::benchWorkloads())
+        jobs.push_back({w, driver::SystemSetup::baseline(), scale,
+                        /*singleSocket=*/true});
+    benchutil::prewarm(jobs);
+
     for (const auto &w : benchutil::benchWorkloads())
         benchmark::RegisterBenchmark(("Table3/" + w).c_str(),
                                      BM_Table3_Workload, w)
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);
     int rc = benchutil::runBenchmarks(argc, argv);
-
-    SimScale scale = benchScale();
     // Paper Table III values for reference: IPC-16s (IPC-1s) MPKI.
     struct Ref
     {

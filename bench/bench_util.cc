@@ -50,16 +50,54 @@ scaleKey(const SimScale &s)
            std::to_string(s.detailFraction);
 }
 
+std::string
+runKey(const std::string &workload,
+       const driver::SystemSetup &setup, const SimScale &scale)
+{
+    return workload + "/" + setup.name + "/" + scaleKey(scale) +
+           "/r" + std::to_string(setup.regionBytes);
+}
+
+std::map<std::string, driver::ExperimentResult> &
+runMemo()
+{
+    static std::map<std::string, driver::ExperimentResult> memo;
+    return memo;
+}
+
+std::map<std::string, driver::RunMetrics> &
+singleSocketMemo()
+{
+    static std::map<std::string, driver::RunMetrics> memo;
+    return memo;
+}
+
 } // anonymous namespace
+
+void
+prewarm(const std::vector<driver::SweepJob> &jobs)
+{
+    std::vector<driver::ExperimentResult> results =
+        driver::runSweep(jobs);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const driver::SweepJob &job = jobs[i];
+        if (job.singleSocket)
+            singleSocketMemo().emplace(
+                job.workload + "/" + scaleKey(job.scale),
+                std::move(results[i].metrics));
+        else
+            runMemo().emplace(
+                runKey(job.workload, job.setup, job.scale),
+                std::move(results[i]));
+    }
+}
 
 const driver::ExperimentResult &
 cachedRun(const std::string &workload,
           const driver::SystemSetup &setup, const SimScale &scale)
 {
-    static std::map<std::string, driver::ExperimentResult> memo;
-    std::string key =
-        workload + "/" + setup.name + "/" + scaleKey(scale) + "/r" +
-        std::to_string(setup.regionBytes);
+    auto &memo = runMemo();
+    std::string key = runKey(workload, setup, scale);
     auto it = memo.find(key);
     if (it == memo.end())
         it = memo.emplace(key, driver::runExperiment(
@@ -72,7 +110,7 @@ const driver::RunMetrics &
 cachedSingleSocket(const std::string &workload,
                    const SimScale &scale)
 {
-    static std::map<std::string, driver::RunMetrics> memo;
+    auto &memo = singleSocketMemo();
     std::string key = workload + "/" + scaleKey(scale);
     auto it = memo.find(key);
     if (it == memo.end())

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Build and run the tier-1 test suite under ThreadSanitizer and
+# ASan+UBSan. The parallel experiment engine (sim/parallel.hh and
+# everything fanned out over it) must be clean under both; CI runs
+# this script on every change to the driver or pool.
+#
+# Usage: scripts/run_sanitizers.sh [thread|address ...]
+#   (default: both)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+sanitizers=("$@")
+if [ ${#sanitizers[@]} -eq 0 ]; then
+    sanitizers=(thread address)
+fi
+
+for san in "${sanitizers[@]}"; do
+    build="build-${san}san"
+    echo "=== ${san} sanitizer: configuring ${build} ==="
+    cmake -B "${build}" -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DSTARNUMA_SANITIZE="${san}"
+    cmake --build "${build}" -j "$(nproc)"
+
+    echo "=== ${san} sanitizer: ctest ==="
+    # halt_on_error makes ctest report sanitizer findings as
+    # failures instead of burying them in the log.
+    case "${san}" in
+      thread)
+        export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+        ;;
+      address)
+        export ASAN_OPTIONS="halt_on_error=1 detect_leaks=0"
+        export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
+        ;;
+    esac
+    ctest --test-dir "${build}" --output-on-failure -j "$(nproc)"
+done
+
+echo "=== all sanitizer runs clean ==="

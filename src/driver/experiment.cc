@@ -1,6 +1,9 @@
 #include "driver/experiment.hh"
 
+#include <atomic>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -11,24 +14,55 @@ namespace starnuma
 namespace driver
 {
 
+namespace
+{
+
+/**
+ * One memo slot. The once_flag serializes the capture itself while
+ * leaving the memo lock free, so concurrent misses on *different*
+ * keys capture in parallel and concurrent misses on the *same* key
+ * run exactly one capture with everyone sharing the result.
+ */
+struct TraceEntry
+{
+    std::once_flag once;
+    trace::WorkloadTrace trace;
+};
+
+std::mutex traceMemoMu;
+std::map<std::pair<std::string, std::string>,
+         std::shared_ptr<TraceEntry>> traceMemo;
+std::atomic<std::uint64_t> traceCaptures{0};
+
+} // anonymous namespace
+
 const trace::WorkloadTrace &
 workloadTrace(const std::string &name, const SimScale &scale)
 {
-    using Key = std::pair<std::string, std::string>;
-    static std::map<Key, trace::WorkloadTrace> memo;
-
     std::string scale_key =
         std::to_string(scale.threads()) + ":" +
         std::to_string(scale.phases) + ":" +
         std::to_string(scale.phaseInstructions);
-    Key key{name, scale_key};
-    auto it = memo.find(key);
-    if (it == memo.end()) {
-        it = memo.emplace(key,
-                          workloads::captureWorkload(name, scale))
-                 .first;
+
+    std::shared_ptr<TraceEntry> entry;
+    {
+        std::lock_guard<std::mutex> lock(traceMemoMu);
+        auto &slot = traceMemo[{name, scale_key}];
+        if (!slot)
+            slot = std::make_shared<TraceEntry>();
+        entry = slot; // entries are never evicted: references stay valid
     }
-    return it->second;
+    std::call_once(entry->once, [&] {
+        entry->trace = workloads::captureWorkload(name, scale);
+        traceCaptures.fetch_add(1, std::memory_order_relaxed);
+    });
+    return entry->trace;
+}
+
+std::uint64_t
+workloadTraceCaptures()
+{
+    return traceCaptures.load(std::memory_order_relaxed);
 }
 
 ExperimentResult
@@ -41,7 +75,11 @@ runExperiment(const std::string &workload, const SystemSetup &setup,
     ExperimentResult result;
     result.placement = trace_sim.run(trace);
 
-    TimingSim timing(setup, scale);
+    // §IV-A3 literally: one timing simulation per phase, fanned out
+    // over the worker pool and merged in phase order.
+    TimingOptions options;
+    options.independentPhases = true;
+    TimingSim timing(setup, scale, options);
     result.metrics = timing.run(trace, result.placement);
     return result;
 }
@@ -57,6 +95,7 @@ runSingleSocket(const std::string &workload, const SimScale &scale)
 
     TimingOptions options;
     options.singleSocketLocal = true;
+    options.independentPhases = true;
     TimingSim timing(setup, scale, options);
     return timing.run(trace, placement);
 }

@@ -6,12 +6,22 @@
  * Traces are memoized per process (and optionally on disk via
  * STARNUMA_TRACE_DIR), so sweeping system configurations over the
  * same workload only captures once — mirroring how the paper reuses
- * step-A traces across all evaluated systems.
+ * step-A traces across all evaluated systems. The memo is thread
+ * safe: concurrent requests for the same (workload, scale) run
+ * exactly one capture and share the resulting trace, so sweep
+ * entries can fan out across the worker pool (driver/sweep.hh).
+ *
+ * Step C runs the paper's literal "N parallel timing simulations"
+ * (§IV-A3): each phase simulates on its own machine state,
+ * distributed over sim/parallel.hh's pool, and the per-phase
+ * metrics merge in phase order — so the result is bitwise-identical
+ * for every pool size, including 1.
  */
 
 #ifndef STARNUMA_DRIVER_EXPERIMENT_HH
 #define STARNUMA_DRIVER_EXPERIMENT_HH
 
+#include <cstdint>
 #include <string>
 
 #include "driver/metrics.hh"
@@ -33,9 +43,16 @@ struct ExperimentResult
     TraceSimResult placement;
 };
 
-/** Memoized step-A capture for (workload, scale). */
+/** Memoized step-A capture for (workload, scale). Thread safe. */
 const trace::WorkloadTrace &workloadTrace(const std::string &name,
                                           const SimScale &scale);
+
+/**
+ * Number of actual trace captures the memo has performed so far
+ * (cache misses). Lets tests prove that N concurrent requests for
+ * one (workload, scale) run exactly one capture.
+ */
+std::uint64_t workloadTraceCaptures();
 
 /** Run the full pipeline for one configuration. */
 ExperimentResult runExperiment(const std::string &workload,

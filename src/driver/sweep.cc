@@ -1,0 +1,41 @@
+#include "driver/sweep.hh"
+
+#include "sim/parallel.hh"
+
+namespace starnuma
+{
+namespace driver
+{
+
+std::vector<ExperimentResult>
+runSweep(const std::vector<SweepJob> &jobs)
+{
+    return ThreadPool::global().parallelMap<ExperimentResult>(
+        jobs.size(), [&jobs](std::size_t i) {
+            const SweepJob &job = jobs[i];
+            if (job.singleSocket) {
+                ExperimentResult r;
+                r.metrics =
+                    runSingleSocket(job.workload, job.scale);
+                return r;
+            }
+            return runExperiment(job.workload, job.setup,
+                                 job.scale);
+        });
+}
+
+std::vector<SweepJob>
+crossJobs(const std::vector<std::string> &workloads,
+          const std::vector<SystemSetup> &setups,
+          const SimScale &scale)
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(workloads.size() * setups.size());
+    for (const auto &w : workloads)
+        for (const auto &s : setups)
+            jobs.push_back({w, s, scale, false});
+    return jobs;
+}
+
+} // namespace driver
+} // namespace starnuma

@@ -1,7 +1,6 @@
 #include "driver/timing_sim.hh"
 
 #include <algorithm>
-#include <future>
 #include <memory>
 #include <deque>
 #include <unordered_map>
@@ -16,6 +15,7 @@
 #include "mem/page_map.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 #include "sim/stats.hh"
 #include "topology/topology.hh"
 
@@ -824,8 +824,11 @@ TimingSim::run(const trace::WorkloadTrace &trace,
     std::unique_ptr<MachineState> last_machine;
 
     if (options.independentPhases) {
-        // §IV-A3 literally: N independent timing simulations, run
-        // concurrently when the host allows.
+        // §IV-A3 literally: N independent timing simulations, one
+        // per phase, fanned out over the fixed-size worker pool.
+        // Each phase owns its machine state and event queue, and the
+        // accumulation below walks the phases in canonical order, so
+        // the merged metrics are bitwise-identical for any pool size.
         std::vector<std::unique_ptr<MachineState>> machines;
         std::vector<std::unique_ptr<PhaseSim>> sims;
         for (int phase = 0; phase < scale.phases; ++phase) {
@@ -838,13 +841,9 @@ TimingSim::run(const trace::WorkloadTrace &trace,
                 placement.checkpoints[phase], phase,
                 *machines.back()));
         }
-        std::vector<std::future<void>> futures;
-        futures.reserve(sims.size());
-        for (auto &sim : sims)
-            futures.push_back(std::async(
-                std::launch::async, [&sim] { sim->run(); }));
-        for (auto &f : futures)
-            f.get();
+        ThreadPool::global().parallelFor(
+            sims.size(),
+            [&sims](std::size_t i) { sims[i]->run(); });
         for (auto &sim : sims) {
             sim->accumulate(m);
             total_horizon += sim->horizon();

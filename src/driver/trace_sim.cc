@@ -9,6 +9,7 @@
 #include "core/tlb_directory.hh"
 #include "mem/page_map.hh"
 #include "sim/logging.hh"
+#include "sim/rng.hh"
 
 namespace starnuma
 {
@@ -106,9 +107,14 @@ TraceSim::runDynamic(const trace::WorkloadTrace &trace)
                                 setup.sys.sockets,
                                 setup.regionBytes);
     std::vector<core::TlbAnnex> tlbs;
+    // Per-task RNG stream: the engine's tie-break generator is
+    // seeded from the task identity (workload, config), never shared
+    // between experiments, so concurrent sweep entries draw the same
+    // sequences they would serially.
     core::MigrationEngine engine(mig_cfg, setup.sys.sockets, star,
                                  setup.regionBytes,
-                                 /*seed=*/17);
+                                 taskSeed({trace.workload,
+                                           setup.name}));
     core::TlbDirectory tlb_dir(trace.threads);
     if (star) {
         tlbs.reserve(trace.threads);

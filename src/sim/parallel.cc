@@ -1,0 +1,147 @@
+#include "sim/parallel.hh"
+
+#include <cstdlib>
+
+namespace starnuma
+{
+
+ThreadPool::ThreadPool(int threads)
+{
+    if (threads <= 0)
+        threads = defaultThreads();
+    workers.reserve(threads);
+    for (int i = 0; i < threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = true;
+    }
+    workCv.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+int
+ThreadPool::defaultThreads()
+{
+    if (const char *v = std::getenv("STARNUMA_THREADS")) {
+        int n = std::atoi(v);
+        if (n >= 1)
+            return n;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+namespace
+{
+
+std::unique_ptr<ThreadPool> globalPool;
+std::mutex globalPoolMu;
+
+} // anonymous namespace
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lock(globalPoolMu);
+    if (!globalPool)
+        globalPool = std::make_unique<ThreadPool>();
+    return *globalPool;
+}
+
+void
+ThreadPool::setGlobalThreads(int threads)
+{
+    std::lock_guard<std::mutex> lock(globalPoolMu);
+    globalPool.reset(); // join the old workers first
+    globalPool = std::make_unique<ThreadPool>(threads);
+}
+
+bool
+ThreadPool::haveWork()
+{
+    while (!queue.empty() && queue.front()->next >= queue.front()->n)
+        queue.pop_front();
+    return !queue.empty();
+}
+
+void
+ThreadPool::enqueue(const std::shared_ptr<Batch> &batch)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        queue.push_back(batch);
+    }
+    workCv.notify_all();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+        workCv.wait(lock, [this] { return stopping || haveWork(); });
+        if (!haveWork()) {
+            if (stopping)
+                return;
+            continue;
+        }
+        std::shared_ptr<Batch> batch = queue.front();
+        std::size_t i = batch->next++;
+        if (batch->next >= batch->n)
+            queue.pop_front();
+
+        lock.unlock();
+        batch->fn(i);
+        lock.lock();
+
+        if (++batch->done == batch->n)
+            doneCv.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (n == 1 || workers.empty()) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // The batch borrows the caller's fn: safe because this call
+    // only returns once every index has finished.
+    auto batch = std::make_shared<Batch>();
+    batch->fn = fn;
+    batch->n = n;
+    enqueue(batch);
+
+    // The caller claims indices alongside the workers, so a worker
+    // blocked here inside a nested parallelFor still makes progress
+    // on its own batch.
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+        if (batch->next < batch->n) {
+            std::size_t i = batch->next++;
+            lock.unlock();
+            batch->fn(i);
+            lock.lock();
+            if (++batch->done == batch->n)
+                doneCv.notify_all();
+        } else if (batch->done < batch->n) {
+            doneCv.wait(lock);
+        } else {
+            return;
+        }
+    }
+}
+
+} // namespace starnuma

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Fixed-size work-queue thread pool with deterministic fan-out
+ * helpers. Experiments, per-phase timing simulations, and sweep
+ * entries are independent tasks: parallelFor() hands indexed work
+ * items to the pool and the calling thread, and parallelMap()
+ * collects results in canonical index order, so the merged output
+ * of a parallel run is bitwise-identical to a serial one. The
+ * calling thread always participates in executing its own batch,
+ * which makes nested fan-outs (a sweep entry that itself
+ * parallelizes its phases) deadlock-free on a fixed-size pool.
+ *
+ * The process-wide pool size comes from STARNUMA_THREADS (default:
+ * the hardware concurrency).
+ */
+
+#ifndef STARNUMA_SIM_PARALLEL_HH
+#define STARNUMA_SIM_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace starnuma
+{
+
+/** Work-queue executor over a fixed set of worker threads. */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 means defaultThreads(). */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads (callers add one more). */
+    int size() const { return static_cast<int>(workers.size()); }
+
+    /** STARNUMA_THREADS when set, else hardware concurrency. */
+    static int defaultThreads();
+
+    /** The process-wide shared pool. */
+    static ThreadPool &global();
+
+    /**
+     * Replace the process-wide pool with one of @p threads workers
+     * (0 restores the default size). Must only be called while no
+     * tasks are in flight; intended for tests that compare pool
+     * sizes.
+     */
+    static void setGlobalThreads(int threads);
+
+    /**
+     * Run fn(0) .. fn(n-1), each call exactly once, distributed
+     * over the workers and the calling thread; returns when all n
+     * calls have finished. Tasks must be independent of each other
+     * (and of execution order); any determinism requirement is then
+     * met by construction regardless of the pool size.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    /**
+     * Deterministic fan-out: out[i] = fn(i) with out in canonical
+     * index order, however the calls were scheduled.
+     */
+    template <typename T, typename F>
+    std::vector<T>
+    parallelMap(std::size_t n, F &&fn)
+    {
+        std::vector<T> out(n);
+        parallelFor(n, [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+    /** Enqueue a single task; the future carries its result. */
+    template <typename F>
+    auto
+    submit(F &&f) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(f));
+        std::future<R> fut = task->get_future();
+        auto batch = std::make_shared<Batch>();
+        batch->fn = [task](std::size_t) { (*task)(); };
+        batch->n = 1;
+        enqueue(batch);
+        return fut;
+    }
+
+  private:
+    /** One indexed fan-out: claim next, run fn(next), count done. */
+    struct Batch
+    {
+        std::function<void(std::size_t)> fn;
+        std::size_t n = 0;
+        std::size_t next = 0; ///< first unclaimed index (under mu)
+        std::size_t done = 0; ///< finished calls (under mu)
+    };
+
+    void enqueue(const std::shared_ptr<Batch> &batch);
+    void workerLoop();
+
+    /** Drop fully-claimed batches off the queue front (under mu). */
+    bool haveWork();
+
+    std::mutex mu;
+    std::condition_variable workCv; ///< workers: work available
+    std::condition_variable doneCv; ///< waiters: some batch finished
+    std::deque<std::shared_ptr<Batch>> queue;
+    std::vector<std::thread> workers;
+    bool stopping = false;
+};
+
+} // namespace starnuma
+
+#endif // STARNUMA_SIM_PARALLEL_HH

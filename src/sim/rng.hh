@@ -10,10 +10,24 @@
 #define STARNUMA_SIM_RNG_HH
 
 #include <cstdint>
+#include <initializer_list>
+#include <string_view>
 #include <vector>
 
 namespace starnuma
 {
+
+/**
+ * Derive the seed of an independent per-task RNG stream from the
+ * task's identity — e.g. {workload, config} plus a phase index —
+ * instead of sharing one generator across tasks. Tasks seeded this
+ * way draw identical sequences no matter which thread runs them or
+ * in what order, which is what lets the parallel driver reproduce
+ * serial results bit for bit. FNV-1a over the parts, mixed with a
+ * splitmix64 finalizer.
+ */
+std::uint64_t taskSeed(std::initializer_list<std::string_view> parts,
+                       std::uint64_t index = 0);
 
 /**
  * PCG32 generator (O'Neill, 2014): 64-bit state, 32-bit output,
