@@ -32,7 +32,7 @@ BM_EventQueue(benchmark::State &state)
     EventQueue q;
     std::uint64_t n = 0;
     for (auto _ : state) {
-        q.scheduleAfter(1, [&n] { ++n; });
+        q.scheduleAfter(Cycles(1), [&n] { ++n; });
         q.step();
     }
     benchmark::DoNotOptimize(n);
@@ -96,11 +96,11 @@ BM_TopologySend(benchmark::State &state)
 {
     topology::Topology topo(topology::SystemConfig::starnuma16());
     Rng rng(5);
-    Cycles now = 0;
+    Cycles now;
     for (auto _ : state) {
         NodeId src = rng.next32() % 16;
         NodeId dst = rng.next32() % 17;
-        now += 10;
+        now += Cycles(10);
         benchmark::DoNotOptimize(
             topo.send(src, dst, now, topology::dataBytes));
     }
@@ -113,9 +113,9 @@ BM_DramAccess(benchmark::State &state)
 {
     mem::MemoryController mc(2, mem::DramConfig{});
     Rng rng(6);
-    Cycles now = 0;
+    Cycles now;
     for (auto _ : state) {
-        now += 5;
+        now += Cycles(5);
         benchmark::DoNotOptimize(
             mc.access(now, rng.next32() & 0xffffff));
     }

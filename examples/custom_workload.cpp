@@ -89,7 +89,7 @@ main()
     std::printf("  %llu records, %.1f MB footprint\n",
                 static_cast<unsigned long long>(
                     trace.totalRecords()),
-                trace.footprintBytes / 1048576.0);
+                static_cast<double>(trace.footprintBytes) / 1048576.0);
 
     TextTable t({"system", "IPC", "AMAT ns", "pool share"});
     driver::RunMetrics base_m;

@@ -42,7 +42,7 @@ main(int argc, char **argv)
     std::printf("\npage sharing profile (%llu pages, %.1f MB):\n%s",
                 static_cast<unsigned long long>(
                     profile.totalPages()),
-                trace.footprintBytes / 1048576.0,
+                static_cast<double>(trace.footprintBytes) / 1048576.0,
                 p.str().c_str());
     std::printf(
         "accesses to pages shared by >8 sockets (vagabond "

@@ -1,0 +1,35 @@
+// Fixture: D1 — unordered-container iteration in a result-affecting
+// directory. Every marked line must be flagged; the annotated and
+// vector-based loops must not be.
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture
+{
+
+struct State
+{
+    std::unordered_map<int, int> hotness;
+    std::unordered_set<int> residents;
+    std::vector<int> order;
+};
+
+int
+sumAll(const State &s)
+{
+    int sum = 0;
+    for (const auto &[k, v] : s.hotness) // expect-lint: D1
+        sum += v;
+    for (int r : s.residents) // expect-lint: D1
+        sum += r;
+    // Commutative sum; iteration order cannot affect the result.
+    for (const auto &[k, v] : s.hotness) // lint: order-independent
+        sum += v;
+    for (int r : s.order) // ordered container: no finding
+        sum += r;
+    return sum;
+}
+
+} // namespace fixture

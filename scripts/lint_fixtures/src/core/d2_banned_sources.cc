@@ -1,0 +1,30 @@
+// Fixture: D2 — banned nondeterminism sources. Every marked line
+// must be flagged; mentions inside comments or strings must not be:
+// std::rand, random_device, time(nullptr), high_resolution_clock.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture
+{
+
+unsigned long
+entropySoup()
+{
+    unsigned long x = 0;
+    x += static_cast<unsigned long>(std::rand()); // expect-lint: D2
+    std::random_device rd;                        // expect-lint: D2
+    x += rd();
+    x += static_cast<unsigned long>(time(nullptr)); // expect-lint: D2
+    x += static_cast<unsigned long>(time(NULL));    // expect-lint: D2
+    x += static_cast<unsigned long>(
+        std::chrono::high_resolution_clock::now() // expect-lint: D2
+            .time_since_epoch()
+            .count());
+    const char *doc = "std::rand in a string is fine";
+    return x + doc[0];
+}
+
+} // namespace fixture

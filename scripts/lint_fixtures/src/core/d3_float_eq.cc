@@ -1,0 +1,27 @@
+// Fixture: D3 — floating-point equality. Marked lines must be
+// flagged; epsilon comparisons and literals nested inside calls
+// must not be.
+
+#include <cmath>
+
+#define EXPECT_EQ(a, b) ((void)((a) == (b)))
+#define EXPECT_DOUBLE_EQ(a, b) ((void)((a) - (b)))
+
+namespace fixture
+{
+
+double scale(double v) { return v * 2.0; }
+
+bool
+compare(double a, double b)
+{
+    bool bad = a == 0.5;  // expect-lint: D3
+    bool bad2 = 1.25 != b; // expect-lint: D3
+    EXPECT_EQ(a, 0.125);   // expect-lint: D3
+    EXPECT_EQ(scale(0.5), b); // nested literal: no finding
+    EXPECT_DOUBLE_EQ(a, 0.25); // tolerant macro: no finding
+    bool good = std::abs(a - b) < 1e-9;
+    return bad || bad2 || good;
+}
+
+} // namespace fixture

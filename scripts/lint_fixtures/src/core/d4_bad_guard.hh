@@ -1,0 +1,11 @@
+// Fixture: D4 — include-guard naming. The guard below should be
+// STARNUMA_CORE_D4_BAD_GUARD_HH, so the #ifndef line is flagged.
+
+#ifndef WRONG_GUARD_NAME_H // expect-lint: D4
+#define WRONG_GUARD_NAME_H
+
+namespace fixture
+{
+}
+
+#endif // WRONG_GUARD_NAME_H

@@ -1,0 +1,10 @@
+// Fixture: a correctly guarded header produces no D4 finding.
+
+#ifndef STARNUMA_CORE_D4_GOOD_GUARD_HH
+#define STARNUMA_CORE_D4_GOOD_GUARD_HH
+
+namespace fixture
+{
+}
+
+#endif // STARNUMA_CORE_D4_GOOD_GUARD_HH

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Run every static check (DESIGN.md §8) and exit nonzero on any
+# finding:
+#
+#   1. scripts/starnuma_lint.py      determinism & style rules D1-D4
+#      (plus its fixture self-test),
+#   2. the STARNUMA_WERROR build     -Wshadow -Wconversion
+#      -Wdouble-promotion as hard errors, and
+#   3. clang-tidy (if installed)     bugprone-*/performance-* over
+#      the exported compile_commands.json.
+#
+# Usage: scripts/run_lint.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "=== starnuma_lint: determinism rules D1-D4 ==="
+python3 scripts/starnuma_lint.py --self-test || fail=1
+python3 scripts/starnuma_lint.py || fail=1
+
+echo "=== STARNUMA_WERROR build ==="
+cmake -B build-werror -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSTARNUMA_WERROR=ON >/dev/null
+cmake --build build-werror -j "$(nproc)" || fail=1
+
+if command -v clang-tidy >/dev/null 2>&1; then
+    echo "=== clang-tidy (bugprone-*, performance-*) ==="
+    # The WERROR tree just configured above exports the compilation
+    # database; run over the library sources (tests inherit via
+    # headers through HeaderFilterRegex).
+    mapfile -t srcs < <(find src -name '*.cc' | sort)
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+        run-clang-tidy -quiet -p build-werror "${srcs[@]}" || fail=1
+    else
+        clang-tidy -quiet -p build-werror "${srcs[@]}" || fail=1
+    fi
+else
+    echo "=== clang-tidy not installed; skipping (gate is" \
+         "advisory on machines without LLVM) ==="
+fi
+
+if [ "${fail}" -ne 0 ]; then
+    echo "=== lint FAILED ==="
+    exit 1
+fi
+echo "=== all lint checks clean ==="

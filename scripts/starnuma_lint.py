@@ -1,0 +1,374 @@
+#!/usr/bin/env python3
+"""starnuma-lint: project determinism and style rules (DESIGN.md §8).
+
+Rules
+-----
+D1  Range-for over an ``unordered_map``/``unordered_set`` in a
+    result-affecting directory (``src/sim``, ``src/core``,
+    ``src/mem``, ``src/driver``) without a
+    ``// lint: order-independent`` annotation on the loop line or the
+    line directly above. Hash iteration order is not part of the
+    simulator's contract; any loop whose effect depends on it is a
+    determinism bug.
+D2  Banned nondeterminism sources anywhere outside ``src/sim/rng.*``:
+    ``std::rand``, ``random_device``, ``time(nullptr)``/``time(NULL)``,
+    ``high_resolution_clock``. All randomness must flow through the
+    seeded ``sim/rng`` facility.
+D3  Floating-point equality: a ``==``/``!=`` whose operand is a
+    floating literal, or ``EXPECT_EQ``/``ASSERT_EQ``/``EXPECT_NE``/
+    ``ASSERT_NE`` applied to a floating literal. Use an epsilon
+    comparison (or ``EXPECT_DOUBLE_EQ``/``EXPECT_NEAR`` in tests).
+D4  Include-guard naming: headers under ``src/<dir>/<file>.hh`` must
+    guard with ``STARNUMA_<DIR>_<FILE>_HH``.
+
+Usage
+-----
+    starnuma_lint.py [paths...]    # default: src tests (repo root)
+    starnuma_lint.py --self-test   # run against scripts/lint_fixtures
+
+Exit status: 0 when clean, 1 on findings, 2 on usage errors.
+"""
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Directories whose code influences simulation results: D1 applies.
+RESULT_DIRS = ("src/sim", "src/core", "src/mem", "src/driver")
+
+SOURCE_EXTS = (".cc", ".hh", ".cpp", ".hpp")
+
+ORDER_ANNOTATION = "lint: order-independent"
+
+BANNED_TOKENS = (
+    ("std::rand", "use the seeded sim/rng facility"),
+    ("random_device", "use the seeded sim/rng facility"),
+    ("time(nullptr)", "wall-clock time is nondeterministic"),
+    ("time(NULL)", "wall-clock time is nondeterministic"),
+    ("high_resolution_clock", "wall-clock time is nondeterministic"),
+)
+
+FLOAT_LITERAL = r"(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?[fF]?"
+D3_OPERATOR = re.compile(
+    r"(?:[=!]=\s*[+-]?{lit})|(?:{lit}\s*[=!]=)".format(lit=FLOAT_LITERAL)
+)
+D3_GTEST_OPEN = re.compile(r"\b(?:EXPECT|ASSERT)_(?:EQ|NE)\s*\(")
+D3_FLOAT = re.compile(r"(?<![\w.]){lit}".format(lit=FLOAT_LITERAL))
+
+UNORDERED_DECL = re.compile(r"\bunordered_(?:map|set)\s*<")
+RANGE_FOR = re.compile(
+    r"\bfor\s*\([^;()]*?:\s*&?\s*([A-Za-z_][\w.\->]*)\s*\)"
+)
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (
+            self.path,
+            self.line,
+            self.rule,
+            self.message,
+        )
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line
+    structure, so token scans do not fire inside either."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append(
+                "".join(ch if ch == "\n" else " " for ch in text[i:j])
+            )
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + quote if j - i >= 2
+                       else text[i:j])
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def collect_unordered_names(code):
+    """Identifiers declared (anywhere in @p code, comments stripped)
+    with an unordered_map/unordered_set type: variables, members,
+    references, and functions returning one."""
+    names = set()
+    for m in UNORDERED_DECL.finditer(code):
+        # Match the template argument list's angle brackets.
+        i = m.end() - 1
+        depth = 0
+        while i < len(code):
+            if code[i] == "<":
+                depth += 1
+            elif code[i] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        rest = code[i + 1:]
+        dm = re.match(r"\s*&?\s*([A-Za-z_]\w*)", rest)
+        if dm:
+            names.add(dm.group(1))
+    return names
+
+
+def relpath(path):
+    return os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
+
+
+def is_result_path(rel):
+    return any(
+        rel == d or rel.startswith(d + "/") for d in RESULT_DIRS
+    )
+
+
+def check_d1(rel, raw_lines, code_lines, unordered_names, findings):
+    if not is_result_path(rel):
+        return
+    for idx, code in enumerate(code_lines):
+        if "for" not in code:
+            continue
+        # A wrapped loop header may put `: container)` on the lines
+        # after `for (`; join a small window before matching, but
+        # only accept matches that start on this line.
+        window = " ".join(code_lines[idx:idx + 3])
+        m = next((m for m in RANGE_FOR.finditer(window)
+                  if m.start() <= len(code)), None)
+        if not m:
+            continue
+        target = m.group(1).split(".")[-1].split("->")[-1]
+        if target not in unordered_names:
+            continue
+        annotated = any(
+            ORDER_ANNOTATION in raw_lines[j]
+            for j in range(max(0, idx - 2), min(len(raw_lines),
+                                                idx + 3))
+        )
+        if not annotated:
+            findings.append(Finding(
+                "D1", rel, idx + 1,
+                "iteration over unordered container '%s' without "
+                "'// %s' annotation" % (target, ORDER_ANNOTATION)))
+
+
+def check_d2(rel, code_lines, findings):
+    base = os.path.basename(rel)
+    if rel.startswith("src/sim/") and base.startswith("rng."):
+        return
+    for idx, code in enumerate(code_lines):
+        squashed = re.sub(r"\s+", "", code)
+        for token, why in BANNED_TOKENS:
+            if re.sub(r"\s+", "", token) in squashed:
+                findings.append(Finding(
+                    "D2", rel, idx + 1,
+                    "banned nondeterminism source '%s' (%s)"
+                    % (token, why)))
+
+
+def mask_nested_parens(s):
+    """Blank out everything inside parentheses, so only top-level
+    tokens of an expression remain visible."""
+    out, depth = [], 0
+    for ch in s:
+        if ch == "(":
+            depth += 1
+            out.append("(")
+        elif ch == ")":
+            depth = max(0, depth - 1)
+            out.append(")")
+        else:
+            out.append(" " if depth > 0 else ch)
+    return "".join(out)
+
+
+def gtest_compares_float(window, line_len):
+    """True when an EXPECT/ASSERT_(EQ|NE) starting within the first
+    @p line_len chars of @p window has a floating literal as a
+    top-level piece of one of its arguments (a literal buried in a
+    nested call like nsToCycles(50.0) does not count)."""
+    for m in D3_GTEST_OPEN.finditer(window):
+        if m.start() > line_len:
+            continue
+        i, depth, arg_start, args = m.end(), 1, m.end(), []
+        while i < len(window) and depth:
+            c = window[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    args.append(window[arg_start:i])
+            elif c == "," and depth == 1:
+                args.append(window[arg_start:i])
+                arg_start = i + 1
+            i += 1
+        for arg in args:
+            if D3_FLOAT.search(mask_nested_parens(arg)):
+                return True
+    return False
+
+
+def check_d3(rel, code_lines, findings):
+    for idx, code in enumerate(code_lines):
+        if D3_OPERATOR.search(code):
+            findings.append(Finding(
+                "D3", rel, idx + 1,
+                "floating-point ==/!= comparison; use an epsilon"))
+            continue
+        window = " ".join(code_lines[idx:idx + 3])
+        if gtest_compares_float(window, len(code)):
+            findings.append(Finding(
+                "D3", rel, idx + 1,
+                "EXPECT/ASSERT_(EQ|NE) on a floating literal; use "
+                "EXPECT_DOUBLE_EQ or EXPECT_NEAR"))
+
+
+def check_d4(rel, raw_lines, findings):
+    if not rel.endswith((".hh", ".hpp")) or not rel.startswith("src/"):
+        return
+    parts = rel.split("/")
+    if len(parts) != 3:
+        return
+    stem = os.path.splitext(parts[2])[0]
+    expected = "STARNUMA_%s_%s_HH" % (
+        parts[1].upper(), re.sub(r"\W", "_", stem).upper())
+    guard = None
+    for idx, line in enumerate(raw_lines):
+        m = re.match(r"\s*#ifndef\s+(\w+)", line)
+        if m:
+            guard = (idx + 1, m.group(1))
+            break
+    if guard is None:
+        findings.append(Finding(
+            "D4", rel, 1, "missing include guard (expected %s)"
+            % expected))
+    elif guard[1] != expected:
+        findings.append(Finding(
+            "D4", rel, guard[0],
+            "include guard '%s' should be '%s'"
+            % (guard[1], expected)))
+
+
+def lint_files(paths):
+    files = []
+    for p in paths:
+        if os.path.isdir(p):
+            for root, _, names in sorted(os.walk(p)):
+                for name in sorted(names):
+                    if name.endswith(SOURCE_EXTS):
+                        files.append(os.path.join(root, name))
+        elif p.endswith(SOURCE_EXTS):
+            files.append(p)
+
+    texts = {}
+    unordered_names = set()
+    for f in files:
+        with open(f, encoding="utf-8", errors="replace") as fh:
+            raw = fh.read()
+        code = strip_comments_and_strings(raw)
+        texts[f] = (raw.splitlines(), code.splitlines())
+        unordered_names |= collect_unordered_names(code)
+
+    findings = []
+    for f in files:
+        rel = relpath(f)
+        raw_lines, code_lines = texts[f]
+        check_d1(rel, raw_lines, code_lines, unordered_names,
+                 findings)
+        check_d2(rel, code_lines, findings)
+        check_d3(rel, code_lines, findings)
+        check_d4(rel, raw_lines, findings)
+    return findings
+
+
+def self_test():
+    """Each fixture marks its expected findings with
+    `expect-lint: <rule>` comments; the lint must report exactly the
+    expected (file, line, rule) set and nothing else."""
+    global REPO_ROOT
+    fixture_dir = os.path.join(REPO_ROOT, "scripts", "lint_fixtures")
+    expected = set()
+    for root, _, names in sorted(os.walk(fixture_dir)):
+        for name in sorted(names):
+            if not name.endswith(SOURCE_EXTS):
+                continue
+            path = os.path.join(root, name)
+            with open(path, encoding="utf-8") as fh:
+                for idx, line in enumerate(fh):
+                    for rule in re.findall(r"expect-lint:\s*(D\d)",
+                                           line):
+                        expected.add((relpath(path), idx + 1, rule))
+
+    # Fixtures live outside src/, so map them into the tree the
+    # rules key off (src/core for D1, src/<dir> for D4).
+    real_root = REPO_ROOT
+    REPO_ROOT = fixture_dir
+    try:
+        findings = lint_files([fixture_dir])
+    finally:
+        REPO_ROOT = real_root
+    got = {
+        (relpath(os.path.join(fixture_dir, f.path)), f.line, f.rule)
+        for f in findings
+    }
+    ok = True
+    for miss in sorted(expected - got):
+        print("self-test: MISSED expected finding %s:%d [%s]" % miss)
+        ok = False
+    for extra in sorted(got - expected):
+        print("self-test: UNEXPECTED finding %s:%d [%s]" % extra)
+        ok = False
+    print("self-test: %d expected findings, %d reported, %s"
+          % (len(expected), len(got), "OK" if ok else "FAIL"))
+    return 0 if ok and expected else 1
+
+
+def main(argv):
+    if "--self-test" in argv:
+        return self_test()
+    paths = [a for a in argv if not a.startswith("-")]
+    if not paths:
+        paths = [os.path.join(REPO_ROOT, "src"),
+                 os.path.join(REPO_ROOT, "tests")]
+    bad = [p for p in paths if not os.path.exists(p)]
+    if bad:
+        print("starnuma-lint: no such path: %s" % ", ".join(bad),
+              file=sys.stderr)
+        return 2
+    findings = lint_files(paths)
+    for f in findings:
+        print(f)
+    if findings:
+        print("starnuma-lint: %d finding(s)" % len(findings))
+        return 1
+    print("starnuma-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

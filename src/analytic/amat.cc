@@ -55,7 +55,7 @@ averageThreeHopNs(const topology::Topology &topo)
             }
         }
     }
-    return count ? sum / count : 0.0;
+    return count ? sum / static_cast<double>(count) : 0.0;
 }
 
 double

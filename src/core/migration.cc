@@ -10,11 +10,11 @@ namespace core
 {
 
 MigrationEngine::MigrationEngine(const MigrationConfig &config,
-                                 int sockets, bool has_pool,
+                                 int n_sockets, bool has_pool,
                                  Addr region_bytes,
                                  std::uint64_t seed)
-    : cfg(config), sockets(sockets), hasPool(has_pool),
-      poolNode(sockets), regionBytes(region_bytes),
+    : cfg(config), sockets(n_sockets), hasPool(has_pool),
+      poolNode(n_sockets), regionBytes(region_bytes),
       pagesPerRegion(static_cast<int>(region_bytes / pageBytes)),
       rng(seed), hi(config.hiThresholdStart),
       lo(config.loThresholdStart), migrated_(0), toPool_(0),
@@ -28,9 +28,9 @@ NodeId
 MigrationEngine::currentLocation(RegionId region,
                                  const mem::PageMap &pages) const
 {
-    Addr first = region * regionBytes / pageBytes;
+    PageNum first(region * regionBytes / pageBytes);
     for (int p = 0; p < pagesPerRegion; ++p) {
-        NodeId home = pages.home(first + p);
+        NodeId home = pages.home(first + PageNum(p));
         if (home != mem::invalidNode)
             return home;
     }
@@ -41,10 +41,10 @@ void
 MigrationEngine::moveRegion(RegionId region, NodeId to,
                             mem::PageMap &pages)
 {
-    Addr first = region * regionBytes / pageBytes;
+    PageNum first(region * regionBytes / pageBytes);
     for (int p = 0; p < pagesPerRegion; ++p)
-        if (pages.home(first + p) != mem::invalidNode)
-            pages.setHome(first + p, to);
+        if (pages.home(first + PageNum(p)) != mem::invalidNode)
+            pages.setHome(first + PageNum(p), to);
 }
 
 NodeId
@@ -90,13 +90,13 @@ MigrationEngine::decidePhase(RegionTracker &tracker,
     // limit. Our scaled runs have few phases, so for T_i (i > 0) we
     // take candidates hottest-first, which the threshold adaptation
     // would converge to; T_0 has no counts and keeps id order.
-    std::vector<std::pair<RegionId, TrackerEntry>> touched;
-    touched.reserve(tracker.touchedRegions());
+    std::vector<std::pair<RegionId, TrackerEntry>> touched_sorted;
+    touched_sorted.reserve(tracker.touchedRegions());
     tracker.scanAndReset([&](RegionId r, const TrackerEntry &e) {
-        touched.emplace_back(r, e);
+        touched_sorted.emplace_back(r, e);
     });
     if (cfg.counterBits > 0) {
-        std::sort(touched.begin(), touched.end(),
+        std::sort(touched_sorted.begin(), touched_sorted.end(),
                   [](const auto &a, const auto &b) {
                       if (a.second.accesses != b.second.accesses)
                           return a.second.accesses >
@@ -104,7 +104,7 @@ MigrationEngine::decidePhase(RegionTracker &tracker,
                       return a.first < b.first;
                   });
     } else {
-        std::sort(touched.begin(), touched.end(),
+        std::sort(touched_sorted.begin(), touched_sorted.end(),
                   [](const auto &a, const auto &b) {
                       return a.first < b.first;
                   });
@@ -113,8 +113,8 @@ MigrationEngine::decidePhase(RegionTracker &tracker,
     // Phase snapshot for victim lookups (the live tracker was just
     // reset; untouched regions read as zero -> always cold).
     std::unordered_map<RegionId, TrackerEntry> snapshot;
-    snapshot.reserve(touched.size());
-    for (const auto &[r, e] : touched)
+    snapshot.reserve(touched_sorted.size());
+    for (const auto &[r, e] : touched_sorted)
         snapshot.emplace(r, e);
     auto phaseEntry = [&](RegionId r) -> TrackerEntry {
         auto it = snapshot.find(r);
@@ -130,13 +130,13 @@ MigrationEngine::decidePhase(RegionTracker &tracker,
     };
 
     std::size_t candidates = 0;
-    for (const auto &[r, e] : touched)
+    for (const auto &[r, e] : touched_sorted)
         candidates += isCandidate(e);
 
     std::vector<RegionMigration> plan;
     std::uint64_t moved_pages = 0;
 
-    for (const auto &[region, e] : touched) {
+    for (const auto &[region, e] : touched_sorted) {
         if (moved_pages >= cfg.migrationLimitPages)
             break;
         if (!isCandidate(e))
@@ -171,13 +171,16 @@ MigrationEngine::decidePhase(RegionTracker &tracker,
             bool room = true;
             while (pages.pagesAt(poolNode) + pagesPerRegion >
                    pool_capacity_pages) {
+                // Victim choice must not depend on hash-set
+                // iteration order: take the lowest-numbered cold
+                // resident (a commutative min-reduction).
                 RegionId victim = 0;
                 bool found = false;
-                for (RegionId pr : poolResidents) {
-                    if (phaseEntry(pr).accesses <= lo) {
+                for (RegionId pr : poolResidents) { // lint: order-independent
+                    if (phaseEntry(pr).accesses <= lo &&
+                        (!found || pr < victim)) {
                         victim = pr;
                         found = true;
-                        break;
                     }
                 }
                 if (!found) {
@@ -230,7 +233,7 @@ MigrationEngine::decidePhase(RegionTracker &tracker,
 double
 MigrationEngine::poolMigrationFraction() const
 {
-    return migrated_ ? static_cast<double>(toPool_) / migrated_
+    return migrated_ ? static_cast<double>(toPool_) / static_cast<double>(migrated_)
                      : 0.0;
 }
 

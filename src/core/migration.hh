@@ -91,7 +91,7 @@ struct RegionMigration
 class MigrationEngine
 {
   public:
-    MigrationEngine(const MigrationConfig &config, int sockets,
+    MigrationEngine(const MigrationConfig &config, int n_sockets,
                     bool has_pool, Addr region_bytes,
                     std::uint64_t seed = 1);
 

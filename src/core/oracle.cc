@@ -17,13 +17,13 @@ OraclePlacement::place(mem::PageMap &pages, bool use_pool,
 
     struct PoolCandidate
     {
-        Addr page;
+        PageNum page;
         std::uint64_t heat;
         NodeId majority;
     };
     std::vector<PoolCandidate> pool_candidates;
 
-    stats.forEach([&](Addr page,
+    stats.forEach([&](PageNum page,
                       const std::vector<std::uint32_t> &counts) {
         std::uint64_t total = 0;
         int sharers = 0;

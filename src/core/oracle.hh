@@ -30,7 +30,7 @@ class OraclePlacement
 
     /** Whole-run access knowledge feed (all phases). */
     void
-    recordAccess(Addr page, NodeId socket)
+    recordAccess(PageNum page, NodeId socket)
     {
         stats.record(page, socket);
     }

@@ -13,23 +13,23 @@ PageAccessStats::PageAccessStats(int sockets) : sockets_(sockets)
 }
 
 void
-PageAccessStats::record(Addr page, NodeId socket)
+PageAccessStats::record(PageNum page, NodeId socket)
 {
     sn_assert(socket >= 0 && socket < sockets_,
               "access by unknown socket %d", socket);
-    auto it = counts.find(page);
-    if (it == counts.end())
-        it = counts.emplace(page,
+    auto it = pageCounts.find(page);
+    if (it == pageCounts.end())
+        it = pageCounts.emplace(page,
                             std::vector<std::uint32_t>(sockets_, 0))
                  .first;
     ++it->second[socket];
 }
 
 std::uint64_t
-PageAccessStats::totalAccesses(Addr page) const
+PageAccessStats::totalAccesses(PageNum page) const
 {
-    auto it = counts.find(page);
-    if (it == counts.end())
+    auto it = pageCounts.find(page);
+    if (it == pageCounts.end())
         return 0;
     std::uint64_t total = 0;
     for (auto c : it->second)
@@ -38,10 +38,10 @@ PageAccessStats::totalAccesses(Addr page) const
 }
 
 int
-PageAccessStats::sharers(Addr page) const
+PageAccessStats::sharers(PageNum page) const
 {
-    auto it = counts.find(page);
-    if (it == counts.end())
+    auto it = pageCounts.find(page);
+    if (it == pageCounts.end())
         return 0;
     int n = 0;
     for (auto c : it->second)
@@ -50,10 +50,10 @@ PageAccessStats::sharers(Addr page) const
 }
 
 NodeId
-PageAccessStats::majoritySocket(Addr page) const
+PageAccessStats::majoritySocket(PageNum page) const
 {
-    auto it = counts.find(page);
-    if (it == counts.end())
+    auto it = pageCounts.find(page);
+    if (it == pageCounts.end())
         return -1;
     NodeId best = 0;
     for (int s = 1; s < sockets_; ++s)

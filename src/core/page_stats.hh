@@ -29,19 +29,19 @@ class PageAccessStats
     explicit PageAccessStats(int sockets);
 
     /** Count one access to page number @p page by @p socket. */
-    void record(Addr page, NodeId socket);
+    void record(PageNum page, NodeId socket);
 
     /** Total accesses to @p page across sockets. */
-    std::uint64_t totalAccesses(Addr page) const;
+    std::uint64_t totalAccesses(PageNum page) const;
 
     /** Number of distinct sockets that accessed @p page. */
-    int sharers(Addr page) const;
+    int sharers(PageNum page) const;
 
     /** Socket with the most accesses to @p page (-1 if untouched). */
-    NodeId majoritySocket(Addr page) const;
+    NodeId majoritySocket(PageNum page) const;
 
     /** Pages with at least one access. */
-    std::size_t touchedPages() const { return counts.size(); }
+    std::size_t touchedPages() const { return pageCounts.size(); }
 
     int sockets() const { return sockets_; }
 
@@ -50,15 +50,17 @@ class PageAccessStats
     void
     forEach(Fn &&fn) const
     {
-        for (const auto &[page, c] : counts)
+        // lint: order-independent — both policies sort their
+        // candidate lists (heat, then page) before deciding.
+        for (const auto &[page, c] : pageCounts) // lint: order-independent
             fn(page, c);
     }
 
-    void reset() { counts.clear(); }
+    void reset() { pageCounts.clear(); }
 
   private:
     int sockets_;
-    std::unordered_map<Addr, std::vector<std::uint32_t>> counts;
+    std::unordered_map<PageNum, std::vector<std::uint32_t>> pageCounts;
 };
 
 } // namespace core

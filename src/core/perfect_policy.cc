@@ -20,14 +20,14 @@ PerfectPagePolicy::decidePhase(mem::PageMap &pages)
 {
     struct Candidate
     {
-        Addr page;
+        PageNum page;
         NodeId from;
         NodeId to;
         std::uint64_t heat;
     };
 
     std::vector<Candidate> candidates;
-    stats.forEach([&](Addr page,
+    stats.forEach([&](PageNum page,
                       const std::vector<std::uint32_t> &counts) {
         std::uint64_t total = 0;
         NodeId best = 0;

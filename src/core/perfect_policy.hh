@@ -26,7 +26,7 @@ namespace core
 /** One page-granular migration decision. */
 struct PageMigration
 {
-    Addr page; ///< page number
+    PageNum page;
     NodeId from;
     NodeId to;
 };
@@ -46,7 +46,7 @@ class PerfectPagePolicy
 
     /** Zero-cost access knowledge feed. */
     void
-    recordAccess(Addr page, NodeId socket)
+    recordAccess(PageNum page, NodeId socket)
     {
         stats.record(page, socket);
     }

@@ -17,9 +17,9 @@ TrackerEntry::sharerCount() const
     return std::popcount(sharerMask);
 }
 
-RegionTracker::RegionTracker(int counter_bits, int sockets,
+RegionTracker::RegionTracker(int counter_bits, int n_sockets,
                              Addr region_bytes)
-    : counterBits_(counter_bits), sockets(sockets),
+    : counterBits_(counter_bits), sockets(n_sockets),
       regionBytes_(region_bytes)
 {
     sn_assert(counter_bits >= 0 && counter_bits <= 32,

@@ -44,7 +44,7 @@ class RegionTracker
      * @param region_bytes region size (paper default 512 KB;
      *        scaled-down runs use 64 KB).
      */
-    RegionTracker(int counter_bits, int sockets, Addr region_bytes);
+    RegionTracker(int counter_bits, int n_sockets, Addr region_bytes);
 
     int counterBits() const { return counterBits_; }
     Addr regionBytes() const { return regionBytes_; }
@@ -58,10 +58,10 @@ class RegionTracker
     }
 
     /** First page number of region @p region. */
-    Addr
+    PageNum
     firstPage(RegionId region) const
     {
-        return region * regionBytes_ / pageBytes;
+        return PageNum(region * regionBytes_ / pageBytes);
     }
 
     /**
@@ -96,7 +96,9 @@ class RegionTracker
     void
     scanAndReset(Fn &&fn)
     {
-        for (auto &[region, e] : entries)
+        // lint: order-independent — the migration engine sorts
+        // the snapshot (heat/id) before any decision.
+        for (auto &[region, e] : entries) // lint: order-independent
             fn(region, e);
         entries.clear();
     }

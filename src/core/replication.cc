@@ -26,7 +26,7 @@ planReplication(const trace::WorkloadTrace &trace,
         std::uint64_t sharerMask = 0;
         std::uint64_t accesses = 0;
     };
-    std::unordered_map<Addr, PageInfo> pages;
+    std::unordered_map<PageNum, PageInfo> pages;
     for (int t = 0; t < trace.threads; ++t) {
         NodeId socket = t / cores_per_socket;
         for (const auto &r : trace.perThread[t]) {
@@ -35,18 +35,20 @@ planReplication(const trace::WorkloadTrace &trace,
             ++p.accesses;
         }
     }
-    std::unordered_set<Addr> written(trace.writtenPages.begin(),
+    std::unordered_set<PageNum> written(trace.writtenPages.begin(),
                                      trace.writtenPages.end());
 
     struct Candidate
     {
-        Addr page;
+        PageNum page;
         int sharers;
         std::uint64_t accesses;
     };
     std::vector<Candidate> candidates;
     ReplicationPlan plan;
-    for (const auto &[page, info] : pages) {
+    // Candidates are sorted (heat, then page) below; the
+    // rejection counter is a commutative sum.
+    for (const auto &[page, info] : pages) { // lint: order-independent
         int sharers = std::popcount(info.sharerMask);
         if (sharers < config.sharerThreshold)
             continue;
@@ -68,7 +70,8 @@ planReplication(const trace::WorkloadTrace &trace,
 
     std::uint64_t footprint_pages =
         trace.footprintBytes / pageBytes;
-    double budget_pages = footprint_pages * config.capacityBudget;
+    double budget_pages =
+        static_cast<double>(footprint_pages) * config.capacityBudget;
     double replica_pages = 0;
     for (const Candidate &c : candidates) {
         // One extra copy per sharer beyond the home copy.
@@ -81,7 +84,9 @@ planReplication(const trace::WorkloadTrace &trace,
         plan.replicated.insert(c.page);
     }
     plan.capacityOverhead =
-        footprint_pages ? replica_pages / footprint_pages : 0.0;
+        footprint_pages
+            ? replica_pages / static_cast<double>(footprint_pages)
+            : 0.0;
     return plan;
 }
 

@@ -45,7 +45,7 @@ struct ReplicationConfig
 struct ReplicationPlan
 {
     /** Pages replicated at every sharer (accesses become local). */
-    std::unordered_set<Addr> replicated;
+    std::unordered_set<PageNum> replicated;
 
     /** Replica bytes divided by footprint bytes. */
     double capacityOverhead = 0.0;
@@ -57,7 +57,7 @@ struct ReplicationPlan
     std::uint64_t rejectedCapacity = 0;
 
     bool
-    isReplicated(Addr page) const
+    isReplicated(PageNum page) const
     {
         return replicated.find(page) != replicated.end();
     }

@@ -27,20 +27,20 @@ namespace core
 struct ShootdownModel
 {
     /** Initiator cost per migrated page with hardware support. */
-    Cycles initiatorCostPerPage = 3000;
+    Cycles initiatorCostPerPage{3000};
 
     /**
      * Per-core cost of a software shootdown (enter kernel, run the
      * handler) — "several thousand cycles" [64]; used only by the
      * software-cost comparison.
      */
-    Cycles softwareCostPerCore = 4000;
+    Cycles softwareCostPerCore{4000};
 
     /** Cost charged to the initiating core for @p pages pages. */
     Cycles
     hardwareCost(std::uint64_t pages) const
     {
-        return pages * initiatorCostPerPage;
+        return initiatorCostPerPage * pages;
     }
 
     /**
@@ -50,8 +50,8 @@ struct ShootdownModel
     Cycles
     softwareCost(std::uint64_t pages, int cores) const
     {
-        return pages * static_cast<std::uint64_t>(cores) *
-               softwareCostPerCore;
+        return softwareCostPerCore * pages *
+               static_cast<std::uint64_t>(cores);
     }
 };
 

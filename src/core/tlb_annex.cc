@@ -21,9 +21,10 @@ toPowerOfTwo(std::size_t v)
 
 } // anonymous namespace
 
-TlbAnnex::TlbAnnex(const TlbConfig &config, RegionTracker &tracker,
-                   NodeId socket)
-    : tracker(tracker), socket(socket), ways(config.ways),
+TlbAnnex::TlbAnnex(const TlbConfig &config,
+                   RegionTracker &owning_tracker, NodeId socket_id)
+    : tracker(owning_tracker), socket(socket_id),
+      ways(config.ways),
       useClock(0), hits_(0), misses_(0), flushes_(0)
 {
     sn_assert(config.entries >= config.ways && config.ways > 0,
@@ -38,9 +39,9 @@ TlbAnnex::TlbAnnex(const TlbConfig &config, RegionTracker &tracker,
 }
 
 std::size_t
-TlbAnnex::setOf(Addr page) const
+TlbAnnex::setOf(PageNum page) const
 {
-    return static_cast<std::size_t>(page) & (numSets - 1);
+    return static_cast<std::size_t>(page.value()) & (numSets - 1);
 }
 
 void
@@ -51,7 +52,7 @@ TlbAnnex::flushEntry(Entry &e)
     // The PTW adds the annex value into the metadata region. With a
     // T_0 design there is no value to add: the presence bit alone is
     // recorded (the key saving of T_0, §III-D1).
-    tracker.record(e.page * pageBytes, socket,
+    tracker.record(pageBase(e.page), socket,
                    counterMax == 0 ? 0 : e.counter);
     e.counter = 0;
     e.marker = false;
@@ -61,7 +62,7 @@ TlbAnnex::flushEntry(Entry &e)
 void
 TlbAnnex::recordAccess(Addr vaddr)
 {
-    Addr page = pageNumber(vaddr);
+    PageNum page = pageNumber(vaddr);
     Entry *set = &sets[setOf(page) * ways];
     ++useClock;
 
@@ -122,9 +123,8 @@ TlbAnnex::flushAll()
 }
 
 bool
-TlbAnnex::shootdown(Addr page)
+TlbAnnex::shootdown(PageNum pn)
 {
-    Addr pn = pageNumber(page);
     Entry *set = &sets[setOf(pn) * ways];
     for (int w = 0; w < ways; ++w) {
         Entry &e = set[w];

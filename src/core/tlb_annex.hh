@@ -39,8 +39,8 @@ class TlbAnnex
      * @param socket the socket this core belongs to (its presence
      *        bit in the tracker).
      */
-    TlbAnnex(const TlbConfig &config, RegionTracker &tracker,
-             NodeId socket);
+    TlbAnnex(const TlbConfig &config, RegionTracker &owning_tracker,
+             NodeId socket_id);
 
     /**
      * Record an LLC-missing access to @p vaddr: TLB lookup (fill on
@@ -56,12 +56,12 @@ class TlbAnnex
     void flushAll();
 
     /**
-     * Invalidate the translation of the page containing byte
-     * address @p page if cached (a TLB shootdown for a migrating
-     * page); flushes its annex first.
+     * Invalidate the translation of page number @p page if cached
+     * (a TLB shootdown for a migrating page); flushes its annex
+     * first.
      * @return true if the entry was present.
      */
-    bool shootdown(Addr page);
+    bool shootdown(PageNum page);
 
     std::uint64_t tlbMisses() const { return misses_; }
     std::uint64_t tlbHits() const { return hits_; }
@@ -82,7 +82,7 @@ class TlbAnnex
   private:
     struct Entry
     {
-        Addr page = 0;
+        PageNum page;
         std::uint64_t lastUse = 0;
         std::uint32_t counter = 0;
         bool valid = false;
@@ -90,7 +90,7 @@ class TlbAnnex
     };
 
     void flushEntry(Entry &e);
-    std::size_t setOf(Addr page) const;
+    std::size_t setOf(PageNum page) const;
 
     RegionTracker &tracker;
     NodeId socket;

@@ -18,14 +18,14 @@ TlbHolderMask::count() const
     return n;
 }
 
-TlbDirectory::TlbDirectory(int cores) : cores(cores)
+TlbDirectory::TlbDirectory(int n_cores) : cores(n_cores)
 {
     sn_assert(cores > 0 && cores <= 256,
               "TLB directory bit-set supports up to 256 cores");
 }
 
 void
-TlbDirectory::fill(Addr page, int core)
+TlbDirectory::fill(PageNum page, int core)
 {
     sn_assert(core >= 0 && core < cores, "fill by unknown core %d",
               core);
@@ -33,7 +33,7 @@ TlbDirectory::fill(Addr page, int core)
 }
 
 void
-TlbDirectory::evict(Addr page, int core)
+TlbDirectory::evict(PageNum page, int core)
 {
     auto it = map.find(page);
     if (it == map.end())
@@ -44,20 +44,20 @@ TlbDirectory::evict(Addr page, int core)
 }
 
 TlbHolderMask
-TlbDirectory::holders(Addr page) const
+TlbDirectory::holders(PageNum page) const
 {
     auto it = map.find(page);
     return it == map.end() ? TlbHolderMask{} : it->second;
 }
 
 int
-TlbDirectory::holderCount(Addr page) const
+TlbDirectory::holderCount(PageNum page) const
 {
     return holders(page).count();
 }
 
 int
-TlbDirectory::shootdown(Addr page)
+TlbDirectory::shootdown(PageNum page)
 {
     int targeted = holderCount(page);
     map.erase(page);
@@ -71,7 +71,8 @@ TlbDirectory::savingsRatio()
 const
 {
     std::uint64_t total = sent_ + saved_;
-    return total ? static_cast<double>(saved_) / total : 0.0;
+    return total ? static_cast<double>(saved_) / static_cast<double>(total)
+                 : 0.0;
 }
 
 } // namespace core

@@ -56,16 +56,16 @@ class TlbDirectory
     explicit TlbDirectory(int cores);
 
     /** Core @p core filled a TLB entry for page number @p page. */
-    void fill(Addr page, int core);
+    void fill(PageNum page, int core);
 
     /** Core @p core evicted its TLB entry for @p page. */
-    void evict(Addr page, int core);
+    void evict(PageNum page, int core);
 
     /** Holder set of cores currently caching @p page. */
-    TlbHolderMask holders(Addr page) const;
+    TlbHolderMask holders(PageNum page) const;
 
     /** Number of cores currently caching @p page. */
-    int holderCount(Addr page) const;
+    int holderCount(PageNum page) const;
 
     /**
      * Shoot down @p page: clears the page's entry and returns how
@@ -73,7 +73,7 @@ class TlbDirectory
      * shootdown messages DiDi sends, versus @p totalCores IPIs for
      * a conventional software shootdown.
      */
-    int shootdown(Addr page);
+    int shootdown(PageNum page);
 
     /** Pages with at least one holder. */
     std::size_t trackedPages() const { return map.size(); }
@@ -90,7 +90,7 @@ class TlbDirectory
 
   private:
     int cores;
-    std::unordered_map<Addr, TlbHolderMask> map;
+    std::unordered_map<PageNum, TlbHolderMask> map;
     std::uint64_t sent_ = 0;
     std::uint64_t saved_ = 0;
 };

@@ -44,7 +44,7 @@ struct RunMetrics
 {
     // --- performance ---
     std::uint64_t instructions = 0; ///< detailed-socket instructions
-    Cycles cycles = 0;              ///< detailed-socket core-cycles
+    Cycles cycles;                  ///< detailed-socket core-cycles
     double ipc = 0.0;               ///< per-core IPC, detailed socket
 
     // --- memory behaviour ---

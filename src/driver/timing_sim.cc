@@ -28,7 +28,7 @@ namespace
 {
 
 /** Cycles between light-core pacing updates. */
-constexpr Cycles pacerPeriod = 20000;
+constexpr Cycles pacerPeriod{20000};
 
 /** Every Nth miss issues a tracker-metadata update write (§IV-C:
  *  "we model the additional memory traffic required for tracker
@@ -71,7 +71,9 @@ struct MachineState
         topo.resetContention();
         for (auto &mc : mcs)
             mc.resetContention();
-        for (const auto &[page, home] : checkpoint.pageHome)
+        // Rebuilds a map; per-page writes commute.
+        for (const auto &[page, home] :
+             checkpoint.pageHome) // lint: order-independent
             pages.setHome(page, home);
         migrating.clear();
     }
@@ -81,10 +83,10 @@ struct MachineState
     std::vector<mem::MemoryController> mcs;
     mem::Directory directory;
     mem::PageMap pages;
-    std::unordered_map<Addr, Cycles> migrating;
+    std::unordered_map<PageNum, Cycles> migrating;
     // Mutable copy of the §V-F replication set: a write to a
     // replicated page de-replicates it for the rest of the run.
-    std::unordered_set<Addr> replicated;
+    std::unordered_set<PageNum> replicated;
 };
 
 /**
@@ -114,7 +116,7 @@ class PhaseSim
     struct Outstanding
     {
         std::uint64_t instr;
-        Cycles done = 0;
+        Cycles done;
         bool complete = false;
     };
 
@@ -126,12 +128,12 @@ class PhaseSim
         std::size_t idx = 0; ///< next record
         std::size_t end = 0;
         std::uint64_t lastInstr = 0;
-        Cycles readyTime = 0; ///< compute-pacing issue point
+        Cycles readyTime; ///< compute-pacing issue point
         bool blocked = false; ///< stalled on oldest outstanding
         bool issuePending = false; ///< an issue event is scheduled
         bool done = false;
-        Cycles doneCycle = 0;
-        Cycles warmupCycle = 0;
+        Cycles doneCycle;
+        Cycles warmupCycle;
         bool warmupCrossed = false;
         std::deque<Outstanding> pending;
     };
@@ -159,7 +161,7 @@ class PhaseSim
                     AccessType type, bool count_stats,
                     Cycles issued, Cycles done);
 
-    void applyMigration(Cycles t, Addr first_page, int pages_n,
+    void applyMigration(Cycles t, PageNum first_page, int pages_n,
                         NodeId from, NodeId to);
 
     const SystemSetup &setup;
@@ -179,17 +181,17 @@ class PhaseSim
     std::vector<mem::MemoryController> &mcs;
     mem::Directory &directory;
     mem::PageMap &pages;
-    std::unordered_map<Addr, Cycles> &migrating;
+    std::unordered_map<PageNum, Cycles> &migrating;
     std::vector<CoreState> cores;
     double lightCpi;
     std::uint64_t lastPaceInstr = 0;
-    Cycles lastPaceCycle = 0;
+    Cycles lastPaceCycle;
     std::uint64_t missCount = 0;
     bool stop = false;
 
     // Post-warmup statistics.
     std::uint64_t statInstructions = 0;
-    Cycles statCycles = 0;
+    Cycles statCycles;
     std::uint64_t statLlcHits = 0;
     std::uint64_t statDetailedMisses = 0;
     std::array<std::uint64_t, accessTypes> statMix{};
@@ -198,17 +200,20 @@ class PhaseSim
     stats::Mean statMigStall;
     std::uint64_t statShootdownPages = 0;
     std::uint64_t statCoherence0 = 0;
-    Cycles endCycle = 0;
+    Cycles endCycle;
 };
 
-PhaseSim::PhaseSim(const SystemSetup &setup, const SimScale &scale,
-                   const TimingOptions &options,
-                   const CoreModel &core,
-                   const trace::WorkloadTrace &trace,
+PhaseSim::PhaseSim(const SystemSetup &system_setup,
+                   const SimScale &sim_scale,
+                   const TimingOptions &timing_options,
+                   const CoreModel &core_model,
+                   const trace::WorkloadTrace &workload_trace,
                    const Checkpoint &checkpoint, int phase,
-                   MachineState &machine)
-    : setup(setup), scale(scale), options(options), core(core),
-      trace(trace), machine(machine), topo(machine.topo),
+                   MachineState &machine_state)
+    : setup(system_setup), scale(sim_scale),
+      options(timing_options), core(core_model),
+      trace(workload_trace), machine(machine_state),
+      topo(machine.topo),
       llcs(machine.llcs), mcs(machine.mcs),
       directory(machine.directory), pages(machine.pages),
       migrating(machine.migrating), lightCpi(core.baseCpi * 2)
@@ -220,9 +225,10 @@ PhaseSim::PhaseSim(const SystemSetup &setup, const SimScale &scale,
                   scale.phaseInstructions;
     windowEnd = windowStart + scale.detailInstructions();
     warmupInstr =
-        windowStart + static_cast<std::uint64_t>(
-                          scale.detailInstructions() *
-                          scale.warmupFraction);
+        windowStart +
+        static_cast<std::uint64_t>(
+            static_cast<double>(scale.detailInstructions()) *
+            scale.warmupFraction);
 
     // Cores; the detailed socket is socket 0.
     int threads = options.singleSocketLocal ? scale.coresPerSocket
@@ -254,23 +260,26 @@ PhaseSim::PhaseSim(const SystemSetup &setup, const SimScale &scale,
     // take effect through the checkpoint's page map, exactly like
     // the 90% outside the window).
     int ppr = static_cast<int>(setup.regionBytes / pageBytes);
-    Cycles window_est = static_cast<Cycles>(
-        scale.detailInstructions() * core.baseCpi * 4);
+    Cycles window_est(
+        static_cast<double>(scale.detailInstructions()) *
+        core.baseCpi * 4);
     Cycles page_stream = serializationCycles(
         pageBytes + (pageBytes / blockBytes) * 8, 3.0);
     std::size_t page_budget = std::max<std::size_t>(
-        2, window_est / (10 * page_stream));
+        2, window_est / (page_stream * 10));
 
     std::size_t n_regions = std::min<std::size_t>(
         static_cast<std::size_t>(
-            checkpoint.regionMigrations.size() *
+            static_cast<double>(
+                checkpoint.regionMigrations.size()) *
                 scale.detailFraction +
             0.999),
         std::max<std::size_t>(1, page_budget / ppr));
     std::size_t n_pages = std::min<std::size_t>(
-        static_cast<std::size_t>(checkpoint.pageMigrations.size() *
-                                     scale.detailFraction +
-                                 0.999),
+        static_cast<std::size_t>(
+            static_cast<double>(checkpoint.pageMigrations.size()) *
+                scale.detailFraction +
+            0.999),
         page_budget);
     if (checkpoint.regionMigrations.empty())
         n_regions = 0;
@@ -279,19 +288,19 @@ PhaseSim::PhaseSim(const SystemSetup &setup, const SimScale &scale,
 
     std::size_t n_migrations = n_regions + n_pages;
     Cycles spacing =
-        n_migrations ? std::max<Cycles>(
-                           2000, window_est / (n_migrations + 1))
+        n_migrations ? std::max(Cycles(2000),
+                                window_est / (n_migrations + 1))
                      : window_est;
     Cycles when = spacing;
     for (std::size_t i = 0; i < n_regions; ++i) {
         const auto &m = checkpoint.regionMigrations[i];
-        Addr first = m.region * setup.regionBytes / pageBytes;
+        PageNum first(m.region * setup.regionBytes / pageBytes);
         q.schedule(when, [this, first, ppr, m] {
             applyMigration(q.now(), first, ppr, m.from, m.to);
         });
         when += spacing;
     }
-    when = spacing + 1;
+    when = spacing + Cycles(1);
     for (std::size_t i = 0; i < n_pages; ++i) {
         const auto &m = checkpoint.pageMigrations[i];
         q.schedule(when, [this, m] {
@@ -302,7 +311,7 @@ PhaseSim::PhaseSim(const SystemSetup &setup, const SimScale &scale,
 }
 
 void
-PhaseSim::applyMigration(Cycles t, Addr first_page, int pages_n,
+PhaseSim::applyMigration(Cycles t, PageNum first_page, int pages_n,
                          NodeId from, NodeId to)
 {
     // Shootdowns and the page-map update happen up front; the data
@@ -320,7 +329,7 @@ PhaseSim::applyMigration(Cycles t, Addr first_page, int pages_n,
 
     Cycles chunk_time = t;
     for (int p = 0; p < pages_n; ++p) {
-        Addr page = first_page + p;
+        PageNum page = first_page + PageNum(p);
         if (pages.home(page) == mem::invalidNode)
             continue;
         pages.setHome(page, to);
@@ -333,7 +342,7 @@ PhaseSim::applyMigration(Cycles t, Addr first_page, int pages_n,
                 cs.readyTime = std::max(cs.readyTime, t) +
                                model.softwareCostPerCore;
         }
-        Addr byte = page * pageBytes;
+        Addr byte = pageBase(page);
         for (auto &llc : llcs)
             llc.invalidatePage(byte);
         for (Addr b = byte; b < byte + pageBytes; b += blockBytes)
@@ -367,9 +376,10 @@ PhaseSim::finishMiss(CoreState &c, std::uint64_t instr,
 {
     if (count_stats) {
         ++statMix[static_cast<int>(type)];
-        statLatency.sample(static_cast<double>(done - issued));
+        statLatency.sample(
+            static_cast<double>((done - issued).value()));
         statTypeLatency[static_cast<int>(type)].sample(
-            static_cast<double>(done - issued));
+            static_cast<double>((done - issued).value()));
         if (c.detailed)
             ++statDetailedMisses;
     }
@@ -381,7 +391,7 @@ PhaseSim::startMiss(CoreState &c, Addr vaddr, bool write,
                     std::uint64_t instr, bool count_stats)
 {
     Cycles t = q.now();
-    Addr page = pageNumber(vaddr);
+    PageNum page = pageNumber(vaddr);
 
     // Stall while the page's migration is in flight.
     auto mig = migrating.find(page);
@@ -389,7 +399,7 @@ PhaseSim::startMiss(CoreState &c, Addr vaddr, bool write,
         if (mig->second > t) {
             Cycles resume = mig->second;
             statMigStall.sample(
-                static_cast<double>(resume - t));
+                static_cast<double>((resume - t).value()));
             q.schedule(resume, [this, &c, vaddr, write, instr,
                                 count_stats, t] {
                 missAfterStall(c, vaddr, write, instr, count_stats,
@@ -410,7 +420,7 @@ PhaseSim::missAfterStall(CoreState &c, Addr vaddr, bool write,
     Cycles t = q.now();
     NodeId s = c.socket;
     Addr block = blockAddr(vaddr);
-    Addr page = pageNumber(vaddr);
+    PageNum page = pageNumber(vaddr);
 
     NodeId home =
         options.singleSocketLocal ? s : pages.touch(page, s);
@@ -427,7 +437,7 @@ PhaseSim::missAfterStall(CoreState &c, Addr vaddr, bool write,
                     if (x == s)
                         continue;
                     topo.send(s, x, t, topology::ctrlBytes);
-                    llcs[x].invalidatePage(page * pageBytes);
+                    llcs[x].invalidatePage(pageBase(page));
                 }
             } else {
                 home = s;
@@ -628,13 +638,14 @@ PhaseSim::issueNext(CoreState &c)
         next_instr > this_instr ? next_instr - this_instr : 1;
     double cpi = c.detailed ? core.baseCpi : lightCpi;
     c.readyTime =
-        t + std::max<Cycles>(1, static_cast<Cycles>(gap * cpi));
+        t + std::max(Cycles(1),
+                     Cycles(static_cast<double>(gap) * cpi));
     c.lastInstr = this_instr;
 
     if (look.hit) {
         if (count_stats)
             ++statLlcHits;
-        c.readyTime += c.detailed ? core.llcHitLatency : 0;
+        c.readyTime += c.detailed ? core.llcHitLatency : Cycles();
         scheduleIssue(c, c.readyTime);
         return;
     }
@@ -663,7 +674,7 @@ PhaseSim::issueNext(CoreState &c)
     if (setup.sys.hasPool && (missCount % metadataWritePeriod) == 0)
         mcs[s].access(t, blockAddr(r.vaddr()) ^ 0x3c3cc3c3);
 
-    c.pending.push_back({this_instr, 0, false});
+    c.pending.push_back({this_instr, Cycles(), false});
     startMiss(c, r.vaddr(), r.isWrite(), this_instr, count_stats);
     scheduleIssue(c, c.readyTime);
 }
@@ -693,9 +704,8 @@ PhaseSim::finishCore(CoreState &c)
     Cycles t = std::max(q.now(), c.readyTime);
     c.pending.clear();
     if (c.lastInstr < windowEnd) {
-        t += static_cast<Cycles>((windowEnd - c.lastInstr) *
-                                 (c.detailed ? core.baseCpi
-                                             : lightCpi));
+        t += Cycles(static_cast<double>(windowEnd - c.lastInstr) *
+                    (c.detailed ? core.baseCpi : lightCpi));
         c.lastInstr = windowEnd;
     }
     c.done = true;
@@ -719,8 +729,9 @@ PhaseSim::pace()
     }
     Cycles now = q.now();
     if (instr > lastPaceInstr && now > lastPaceCycle) {
-        double cpi = static_cast<double>(now - lastPaceCycle) * n /
-                     (instr - lastPaceInstr);
+        double cpi =
+            static_cast<double>((now - lastPaceCycle).value()) * n /
+            static_cast<double>(instr - lastPaceInstr);
         lightCpi = std::clamp(cpi, core.baseCpi, 500.0);
         lastPaceInstr = instr;
         lastPaceCycle = now;
@@ -751,16 +762,16 @@ PhaseSim::run()
         }
         const trace::MemRecord &r = trace.perThread[c.thread][c.idx];
         double cpi = c.detailed ? core.baseCpi : lightCpi;
-        c.readyTime = static_cast<Cycles>(
-            (r.instr - windowStart) * cpi);
+        c.readyTime = Cycles(
+            static_cast<double>(r.instr - windowStart) * cpi);
         scheduleIssue(c, c.readyTime);
     }
-    q.scheduleAfter(2000, [this] { pace(); });
+    q.scheduleAfter(Cycles(2000), [this] { pace(); });
 
     stop = allDetailedDone();
     // Hard ceiling to bound runaway phases.
-    Cycles limit = static_cast<Cycles>(
-        scale.detailInstructions() * 2000.0);
+    Cycles limit(static_cast<double>(scale.detailInstructions()) *
+                 2000.0);
     while (!stop && !q.empty() && q.now() < limit)
         q.step();
 
@@ -769,11 +780,12 @@ PhaseSim::run()
             continue;
         if (!c.done)
             finishCore(c);
-        Cycles start = c.warmupCrossed ? c.warmupCycle : 0;
+        Cycles start = c.warmupCrossed ? c.warmupCycle : Cycles();
         std::uint64_t instr0 =
             c.warmupCrossed ? warmupInstr : windowStart;
         statInstructions += windowEnd - instr0;
-        statCycles += c.doneCycle > start ? c.doneCycle - start : 1;
+        statCycles +=
+            c.doneCycle > start ? c.doneCycle - start : Cycles(1);
     }
     statCoherence0 = directory.transactions() - statCoherence0;
     endCycle = q.now();
@@ -788,11 +800,13 @@ PhaseSim::accumulate(RunMetrics &m) const
     std::uint64_t misses = 0;
     for (int i = 0; i < accessTypes; ++i)
         misses += statMix[i];
-    double prev_sum = m.amatCycles * m.memAccesses;
+    double prev_sum =
+        m.amatCycles * static_cast<double>(m.memAccesses);
     m.memAccesses += misses;
-    m.amatCycles = m.memAccesses ? (prev_sum + statLatency.sum()) /
-                                       m.memAccesses
-                                 : 0.0;
+    m.amatCycles =
+        m.memAccesses ? (prev_sum + statLatency.sum()) /
+                            static_cast<double>(m.memAccesses)
+                      : 0.0;
     for (int i = 0; i < accessTypes; ++i)
         m.mix[i] += static_cast<double>(statMix[i]); // raw counts
     m.coherenceTransactions += statCoherence0;
@@ -808,9 +822,11 @@ PhaseSim::accumulate(RunMetrics &m) const
 
 } // anonymous namespace
 
-TimingSim::TimingSim(const SystemSetup &setup, const SimScale &scale,
-                     TimingOptions options)
-    : setup(setup), scale(scale), options(options)
+TimingSim::TimingSim(const SystemSetup &system_setup,
+                     const SimScale &sim_scale,
+                     TimingOptions timing_options)
+    : setup(system_setup), scale(sim_scale),
+      options(timing_options)
 {
 }
 
@@ -819,7 +835,7 @@ TimingSim::run(const trace::WorkloadTrace &trace,
                const TraceSimResult &placement)
 {
     RunMetrics m;
-    Cycles total_horizon = 0;
+    Cycles total_horizon;
     std::unique_ptr<MachineState> shared_machine;
     std::unique_ptr<MachineState> last_machine;
 
@@ -876,8 +892,9 @@ TimingSim::run(const trace::WorkloadTrace &trace,
         int cnt[3] = {0, 0, 0};
         double max_util = 0;
         stats::Mean queue;
-        Cycles horizon =
-            total_horizon ? total_horizon / scale.phases : 1;
+        Cycles horizon = total_horizon != Cycles()
+                             ? total_horizon / scale.phases
+                             : Cycles(1);
         for (const auto &link : machine.topo.links()) {
             for (Dir d : {Dir::Forward, Dir::Backward}) {
                 double u = link.utilization(d, horizon);
@@ -895,38 +912,45 @@ TimingSim::run(const trace::WorkloadTrace &trace,
         if (cnt[2])
             m.cxlUtilization = uti[2] / cnt[2];
         m.maxLinkUtilization = max_util;
-        m.meanLinkQueueNs =
-            cyclesToNs(static_cast<Cycles>(queue.mean()));
+        m.meanLinkQueueNs = cyclesToNs(queue.mean());
         double dq = 0;
         std::uint64_t dn = 0;
         for (const auto &mc : machine.mcs) {
-            dq += mc.meanQueueDelay() * mc.requests();
+            dq += mc.meanQueueDelay() *
+                  static_cast<double>(mc.requests());
             dn += mc.requests();
         }
         m.meanDramQueueNs =
-            dn ? cyclesToNs(static_cast<Cycles>(dq / dn)) : 0;
+            dn ? cyclesToNs(dq / static_cast<double>(dn)) : 0;
     }
 
-    m.ipc = m.cycles ? static_cast<double>(m.instructions) / m.cycles
-                     : 0.0;
+    m.ipc = m.cycles != Cycles()
+                ? static_cast<double>(m.instructions) /
+                      static_cast<double>(m.cycles.value())
+                : 0.0;
     std::uint64_t misses = m.memAccesses;
     if (misses) {
         double unloaded = 0;
         for (int i = 0; i < accessTypes; ++i) {
             double count = m.mix[i];
-            double frac = count / misses;
+            double frac = count / static_cast<double>(misses);
             m.mix[i] = frac;
             m.typeLatency[i] = count ? m.typeLatency[i] / count : 0;
-            unloaded += frac * nsToCycles(unloadedLatencyNs(
-                                   static_cast<AccessType>(i)));
+            unloaded +=
+                frac * static_cast<double>(
+                           nsToCycles(unloadedLatencyNs(
+                                          static_cast<AccessType>(i)))
+                               .value());
         }
         m.unloadedAmatCycles = unloaded;
-        m.migrationStallCycles /= misses;
+        m.migrationStallCycles /= static_cast<double>(misses);
     }
     // Per-core LLC MPKI measured on the detailed socket (Table III).
-    m.llcMpki = m.instructions
-                    ? 1000.0 * m.detailedMisses / m.instructions
-                    : 0.0;
+    m.llcMpki =
+        m.instructions
+            ? 1000.0 * static_cast<double>(m.detailedMisses) /
+                  static_cast<double>(m.instructions)
+            : 0.0;
     m.migratedPages = placement.migratedPagesTotal;
     m.poolMigrationFraction = placement.poolMigrationFraction;
     return m;

@@ -69,7 +69,7 @@ struct CoreModel
     int mshrs = 8;
 
     /** Socket-LLC hit latency (30 cycles, Table I). */
-    Cycles llcHitLatency = 30;
+    Cycles llcHitLatency{30};
 
     /**
      * LLC capacity per core. Table I specifies 2 MB/core; the
@@ -84,7 +84,8 @@ struct CoreModel
 class TimingSim
 {
   public:
-    TimingSim(const SystemSetup &setup, const SimScale &scale,
+    TimingSim(const SystemSetup &system_setup,
+              const SimScale &sim_scale,
               TimingOptions options = {});
 
     /**

@@ -24,8 +24,9 @@ Checkpoint::migratedPages(int pages_per_region) const
            pageMigrations.size();
 }
 
-TraceSim::TraceSim(const SystemSetup &setup, const SimScale &scale)
-    : setup(setup), scale(scale)
+TraceSim::TraceSim(const SystemSetup &system_setup,
+                   const SimScale &sim_scale)
+    : setup(system_setup), scale(sim_scale)
 {
     sn_assert(scale.sockets == setup.sys.sockets,
               "scale/system socket mismatch (%d vs %d)",
@@ -59,12 +60,12 @@ namespace
 {
 
 /** Snapshot a PageMap into a checkpoint's plain map. */
-std::unordered_map<Addr, NodeId>
+std::unordered_map<PageNum, NodeId>
 snapshot(const mem::PageMap &pm)
 {
-    std::unordered_map<Addr, NodeId> out;
+    std::unordered_map<PageNum, NodeId> out;
     out.reserve(pm.totalPages());
-    pm.forEach([&](Addr page, NodeId home) { out[page] = home; });
+    pm.forEach([&](PageNum page, NodeId home) { out[page] = home; });
     return out;
 }
 
@@ -80,7 +81,7 @@ TraceSim::runDynamic(const trace::WorkloadTrace &trace)
     result.footprintPages = trace.footprintBytes / pageBytes;
     result.poolCapacityPages =
         star ? static_cast<std::uint64_t>(
-                   result.footprintPages *
+                   static_cast<double>(result.footprintPages) *
                    setup.sys.poolCapacityFraction)
              : 0;
 
@@ -97,7 +98,8 @@ TraceSim::runDynamic(const trace::WorkloadTrace &trace)
         mig_cfg.migrationLimitPages =
             static_cast<std::uint32_t>(std::max<std::uint64_t>(
                 64, static_cast<std::uint64_t>(
-                        result.footprintPages *
+                        static_cast<double>(
+                            result.footprintPages) *
                         mig_cfg.migrationLimitFraction)));
     }
 
@@ -158,7 +160,7 @@ TraceSim::runDynamic(const trace::WorkloadTrace &trace)
             NodeId socket = socketOf(t);
             std::size_t &i = cursor[t];
             while (i < recs.size() && recs[i].instr <= phase_end) {
-                Addr page = pageNumber(recs[i].vaddr());
+                PageNum page = pageNumber(recs[i].vaddr());
                 pm.touch(page, socket);
                 if (star)
                     tlbs[t].recordAccess(recs[i].vaddr());
@@ -177,15 +179,15 @@ TraceSim::runDynamic(const trace::WorkloadTrace &trace)
             // interrupts the cores whose TLBs hold it (§III-D3).
             int ppr = tracker.pagesPerRegion();
             for (const auto &m : pending_regions) {
-                Addr first = tracker.firstPage(m.region);
+                PageNum first = tracker.firstPage(m.region);
                 for (int p = 0; p < ppr; ++p) {
-                    Addr page = first + p;
+                    PageNum page = first + PageNum(p);
                     core::TlbHolderMask mask =
                         tlb_dir.holders(page);
                     tlb_dir.shootdown(page);
                     for (ThreadId t = 0; t < trace.threads; ++t)
                         if (mask.test(t))
-                            tlbs[t].shootdown(page * pageBytes);
+                            tlbs[t].shootdown(page);
                 }
             }
         } else {
@@ -219,7 +221,7 @@ TraceSim::runStaticOracle(const trace::WorkloadTrace &trace)
     result.footprintPages = trace.footprintBytes / pageBytes;
     result.poolCapacityPages =
         star ? static_cast<std::uint64_t>(
-                   result.footprintPages *
+                   static_cast<double>(result.footprintPages) *
                    setup.sys.poolCapacityFraction)
              : 0;
 
@@ -287,8 +289,16 @@ TraceSimResult::save(const std::string &path) const
     for (const Checkpoint &cp : checkpoints) {
         std::uint64_t n = cp.pageHome.size();
         ok = ok && put(f, &n, 8);
-        for (const auto &[page, home] : cp.pageHome) {
-            std::int64_t h = home;
+        // Serialize in page order so saved results are
+        // byte-identical across runs (hash order is not).
+        std::vector<PageNum> sorted_pages;
+        sorted_pages.reserve(cp.pageHome.size());
+        for (const auto &[page, home] :
+             cp.pageHome) // lint: order-independent
+            sorted_pages.push_back(page);
+        std::sort(sorted_pages.begin(), sorted_pages.end());
+        for (PageNum page : sorted_pages) {
+            std::int64_t h = cp.pageHome.at(page);
             ok = ok && put(f, &page, 8) && put(f, &h, 8);
         }
         n = cp.regionMigrations.size();
@@ -302,7 +312,10 @@ TraceSimResult::save(const std::string &path) const
     }
     std::uint64_t n_rep = replication.replicated.size();
     ok = ok && put(f, &n_rep, 8);
-    for (Addr page : replication.replicated)
+    std::vector<PageNum> sorted_rep(replication.replicated.begin(),
+                                    replication.replicated.end());
+    std::sort(sorted_rep.begin(), sorted_rep.end());
+    for (PageNum page : sorted_rep)
         ok = ok && put(f, &page, 8);
     ok = ok && put(f, &replication.capacityOverhead, 8);
     std::fclose(f);
@@ -337,7 +350,7 @@ TraceSimResult::load(const std::string &path)
         ok = ok && get(f, &n, 8);
         cp.pageHome.reserve(n);
         for (std::uint64_t i = 0; ok && i < n; ++i) {
-            Addr page = 0;
+            PageNum page;
             std::int64_t h = 0;
             ok = get(f, &page, 8) && get(f, &h, 8);
             cp.pageHome[page] = static_cast<NodeId>(h);
@@ -359,7 +372,7 @@ TraceSimResult::load(const std::string &path)
     ok = ok && get(f, &n_rep, 8);
     replication.replicated.clear();
     for (std::uint64_t i = 0; ok && i < n_rep; ++i) {
-        Addr page = 0;
+        PageNum page;
         ok = get(f, &page, 8);
         replication.replicated.insert(page);
     }

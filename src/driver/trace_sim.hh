@@ -32,7 +32,7 @@ namespace driver
 struct Checkpoint
 {
     /** Page -> home node at the start of the phase. */
-    std::unordered_map<Addr, NodeId> pageHome;
+    std::unordered_map<PageNum, NodeId> pageHome;
 
     /** Region migrations occurring during this phase (StarNUMA). */
     std::vector<core::RegionMigration> regionMigrations;
@@ -84,7 +84,8 @@ struct TraceSimResult
 class TraceSim
 {
   public:
-    TraceSim(const SystemSetup &setup, const SimScale &scale);
+    TraceSim(const SystemSetup &system_setup,
+             const SimScale &sim_scale);
 
     /** Run all phases over @p trace. */
     TraceSimResult run(const trace::WorkloadTrace &trace);

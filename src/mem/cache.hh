@@ -73,7 +73,9 @@ class Cache
     hitRate() const
     {
         std::uint64_t total = hits_ + misses_;
-        return total ? static_cast<double>(hits_) / total : 0.0;
+        return total ? static_cast<double>(hits_) /
+                           static_cast<double>(total)
+                     : 0.0;
     }
 
     std::size_t sets() const { return sets_.size() / ways; }

@@ -9,11 +9,11 @@ namespace starnuma
 namespace mem
 {
 
-Directory::Directory(int sockets)
-    : sockets(sockets), poolNode(sockets), transactions_(0),
+Directory::Directory(int n_sockets)
+    : sockets(n_sockets), poolNode(n_sockets), transactions_(0),
       blockTransfers_(0), poolTransfers_(0), invalidations_(0)
 {
-    sn_assert(sockets > 0 && sockets <= 64,
+    sn_assert(n_sockets > 0 && n_sockets <= 64,
               "directory bit-vector supports up to 64 sockets");
 }
 

@@ -13,15 +13,15 @@ DramChannel::DramChannel(const DramConfig &config)
     : cfg(config), bankBusy(nsToCycles(config.bankBusyNs)),
       rowHitBusy(nsToCycles(config.rowHitNs)),
       busSer(serializationCycles(blockBytes, config.busGbps)),
-      bankFree(config.banks, 0),
-      openRow(config.banks, ~Addr(0)), busFree(0), requests_(0),
+      bankFree(config.banks, Cycles()),
+      openRow(config.banks, ~Addr(0)), busFree(), requests_(0),
       rowHits_(0)
 {
     sn_assert(config.banks > 0, "channel needs at least one bank");
     // Keep the unloaded end-to-end latency equal to accessNs by
     // folding the bus serialization into the device portion.
     Cycles total = nsToCycles(cfg.accessNs);
-    deviceLatency = total > busSer ? total - busSer : 0;
+    deviceLatency = total > busSer ? total - busSer : Cycles();
 }
 
 Cycles
@@ -46,8 +46,8 @@ DramChannel::access(Cycles now, Addr addr)
     busFree = bus_start + busSer;
 
     Cycles done = bus_start + busSer;
-    queueDelay.sample(static_cast<double>(done - now) -
-                      static_cast<double>(unloadedLatency()));
+    queueDelay.sample(static_cast<double>((done - now).value()) -
+                      static_cast<double>(unloadedLatency().value()));
     return done;
 }
 
@@ -60,9 +60,9 @@ DramChannel::unloadedLatency() const
 void
 DramChannel::resetContention()
 {
-    std::fill(bankFree.begin(), bankFree.end(), 0);
+    std::fill(bankFree.begin(), bankFree.end(), Cycles());
     std::fill(openRow.begin(), openRow.end(), ~Addr(0));
-    busFree = 0;
+    busFree = Cycles();
     requests_ = 0;
     rowHits_ = 0;
     queueDelay.reset();
@@ -113,10 +113,11 @@ MemoryController::meanQueueDelay() const
     double sum = 0;
     std::uint64_t n = 0;
     for (const auto &c : chans) {
-        sum += c.meanQueueDelay() * c.requests();
+        sum += c.meanQueueDelay() *
+               static_cast<double>(c.requests());
         n += c.requests();
     }
-    return n ? sum / n : 0.0;
+    return n ? sum / static_cast<double>(n) : 0.0;
 }
 
 } // namespace mem

@@ -13,14 +13,14 @@ PageMap::PageMap(int nodes) : counts(nodes, 0), firstTouch(0)
 }
 
 NodeId
-PageMap::home(Addr page) const
+PageMap::home(PageNum page) const
 {
     auto it = map.find(page);
     return it == map.end() ? invalidNode : it->second;
 }
 
 NodeId
-PageMap::touch(Addr page, NodeId toucher)
+PageMap::touch(PageNum page, NodeId toucher)
 {
     auto [it, inserted] = map.try_emplace(page, toucher);
     if (inserted) {
@@ -34,7 +34,7 @@ PageMap::touch(Addr page, NodeId toucher)
 }
 
 void
-PageMap::setHome(Addr page, NodeId node)
+PageMap::setHome(PageNum page, NodeId node)
 {
     sn_assert(node >= 0 &&
                   static_cast<std::size_t>(node) < counts.size(),

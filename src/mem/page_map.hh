@@ -31,17 +31,17 @@ class PageMap
     explicit PageMap(int nodes);
 
     /** Home of page @p page, or invalidNode if unmapped. */
-    NodeId home(Addr page) const;
+    NodeId home(PageNum page) const;
 
     /**
      * First-touch lookup: maps the page to @p toucher's socket on
      * first access, then sticks.
      * @return the (possibly just-assigned) home node.
      */
-    NodeId touch(Addr page, NodeId toucher);
+    NodeId touch(PageNum page, NodeId toucher);
 
     /** Force page @p page to live on node @p node (migration). */
-    void setHome(Addr page, NodeId node);
+    void setHome(PageNum page, NodeId node);
 
     /** Number of mapped pages homed at @p node. */
     std::uint64_t pagesAt(NodeId node) const;
@@ -57,12 +57,14 @@ class PageMap
     void
     forEach(Fn &&fn) const
     {
-        for (const auto &[page, node] : map)
+        // lint: order-independent — callers rebuild maps or
+        // sort what they collect before it affects results.
+        for (const auto &[page, node] : map) // lint: order-independent
             fn(page, node);
     }
 
   private:
-    std::unordered_map<Addr, NodeId> map;
+    std::unordered_map<PageNum, NodeId> map;
     std::vector<std::uint64_t> counts;
     std::uint64_t firstTouch;
 };

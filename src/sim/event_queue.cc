@@ -9,8 +9,8 @@ void
 EventQueue::schedule(Cycles when, Callback cb)
 {
     sn_assert(when >= now_, "scheduling into the past (%llu < %llu)",
-              static_cast<unsigned long long>(when),
-              static_cast<unsigned long long>(now_));
+              static_cast<unsigned long long>(when.value()),
+              static_cast<unsigned long long>(now_.value()));
     events.push(Event{when, nextSeq++, std::move(cb)});
 }
 
@@ -30,7 +30,7 @@ EventQueue::run(Cycles limit)
     }
     // With an explicit finite limit, time advances to the limit even
     // if the queue drains first (so fixed-horizon windows line up).
-    if (events.empty() && limit != ~Cycles(0) && now_ < limit)
+    if (events.empty() && limit != Cycles::max() && now_ < limit)
         now_ = limit;
     return count;
 }

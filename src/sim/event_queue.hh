@@ -27,7 +27,7 @@ class EventQueue
   public:
     using Callback = std::function<void()>;
 
-    EventQueue() : now_(0), nextSeq(0), executed_(0) {}
+    EventQueue() : now_(), nextSeq(0), executed_(0) {}
 
     /** Current simulation time in cycles. */
     Cycles now() const { return now_; }
@@ -55,7 +55,7 @@ class EventQueue
      * Run until the queue drains or time exceeds @p limit.
      * @return the number of events executed by this call.
      */
-    std::uint64_t run(Cycles limit = ~Cycles(0));
+    std::uint64_t run(Cycles limit = Cycles::max());
 
     /** Execute exactly one event, if any. @return true if one ran. */
     bool step();

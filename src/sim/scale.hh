@@ -65,7 +65,8 @@ struct SimScale
     detailInstructions() const
     {
         return static_cast<std::uint64_t>(
-            phaseInstructions * detailFraction);
+            static_cast<double>(phaseInstructions) *
+            detailFraction);
     }
 
     /** Default configuration (SC1 in Fig 14). */

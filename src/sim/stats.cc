@@ -9,10 +9,12 @@ namespace starnuma
 namespace stats
 {
 
-Histogram::Histogram(std::size_t buckets, double width)
-    : counts(buckets, 0), width(width), total_(0), overflow_(0)
+Histogram::Histogram(std::size_t buckets, double bucket_width)
+    : counts(buckets, 0), width(bucket_width), total_(0),
+      overflow_(0)
 {
-    sn_assert(buckets > 0 && width > 0, "bad histogram shape");
+    sn_assert(buckets > 0 && bucket_width > 0,
+              "bad histogram shape");
 }
 
 void
@@ -40,7 +42,9 @@ Histogram::reset()
 double
 Histogram::fraction(std::size_t i) const
 {
-    return total_ ? static_cast<double>(counts.at(i)) / total_ : 0.0;
+    return total_ ? static_cast<double>(counts.at(i)) /
+                        static_cast<double>(total_)
+                  : 0.0;
 }
 
 double
@@ -48,14 +52,15 @@ Histogram::quantile(double q) const
 {
     if (total_ == 0)
         return 0.0;
-    auto target = static_cast<std::uint64_t>(q * total_);
+    auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(total_));
     std::uint64_t running = 0;
     for (std::size_t i = 0; i < counts.size(); ++i) {
         running += counts[i];
         if (running >= target)
-            return (i + 1) * width;
+            return static_cast<double>(i + 1) * width;
     }
-    return counts.size() * width;
+    return static_cast<double>(counts.size()) * width;
 }
 
 double
@@ -68,7 +73,8 @@ geomean(const std::vector<double> &values)
         sn_assert(v > 0, "geomean of non-positive value");
         log_sum += std::log(v);
     }
-    return std::exp(log_sum / values.size());
+    return std::exp(log_sum /
+                    static_cast<double>(values.size()));
 }
 
 } // namespace stats

@@ -46,7 +46,11 @@ class Mean
 
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double
+    mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
     double min() const { return min_; }
     double max() const { return max_; }
 

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tagged-integer strong types (DESIGN.md §8). A `Strong<Tag, Rep>`
+ * wraps an integer so that values of different units can never be
+ * mixed implicitly: construction from a raw integer is explicit,
+ * additive arithmetic and comparison are same-tag only, and the only
+ * cross-type operations are scaling by a dimensionless factor and
+ * the same-tag ratio. `sim/types.hh` instantiates `Cycles`,
+ * `CycleDelta`, and `PageNum` from this template; mixing any of them
+ * with each other or with a raw `Addr` is a compile error.
+ */
+
+#ifndef STARNUMA_SIM_STRONG_HH
+#define STARNUMA_SIM_STRONG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+#include <type_traits>
+
+namespace starnuma
+{
+
+/**
+ * A unit-tagged integer. @tparam Tag is an empty struct naming the
+ * unit; @tparam Rep is the underlying representation.
+ *
+ * Allowed operations:
+ *  - explicit construction from any arithmetic type (value-cast),
+ *  - same-tag `+ - += -= % ++ --`, comparison, and hashing,
+ *  - scaling by a dimensionless arithmetic factor (`* /`), which
+ *    keeps the tag,
+ *  - same-tag division, which drops the tag (a dimensionless ratio).
+ *
+ * Everything else — in particular `Strong + int` and any operation
+ * mixing two different tags — does not compile.
+ */
+template <typename Tag, typename Rep>
+class Strong
+{
+    static_assert(std::is_integral_v<Rep>,
+                  "Strong<> wraps integral representations only");
+
+  public:
+    using rep = Rep;
+
+    /** Zero-initialized by default. */
+    constexpr Strong() = default;
+
+    /** Explicit value construction (truncating cast from @p v). */
+    template <typename T,
+              typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+    constexpr explicit Strong(T v) : value_(static_cast<Rep>(v))
+    {
+    }
+
+    /** The raw representation (escape hatch for I/O and casts). */
+    constexpr Rep value() const { return value_; }
+
+    static constexpr Strong
+    max()
+    {
+        return Strong(std::numeric_limits<Rep>::max());
+    }
+
+    static constexpr Strong
+    min()
+    {
+        return Strong(std::numeric_limits<Rep>::min());
+    }
+
+    // Same-tag additive arithmetic.
+    friend constexpr Strong
+    operator+(Strong a, Strong b)
+    {
+        return Strong(a.value_ + b.value_);
+    }
+
+    friend constexpr Strong
+    operator-(Strong a, Strong b)
+    {
+        return Strong(a.value_ - b.value_);
+    }
+
+    friend constexpr Strong
+    operator%(Strong a, Strong b)
+    {
+        return Strong(a.value_ % b.value_);
+    }
+
+    /** Same-tag ratio: the tags cancel, yielding a raw count. */
+    friend constexpr Rep
+    operator/(Strong a, Strong b)
+    {
+        return a.value_ / b.value_;
+    }
+
+    constexpr Strong &
+    operator+=(Strong o)
+    {
+        value_ += o.value_;
+        return *this;
+    }
+
+    constexpr Strong &
+    operator-=(Strong o)
+    {
+        value_ -= o.value_;
+        return *this;
+    }
+
+    constexpr Strong &
+    operator++()
+    {
+        ++value_;
+        return *this;
+    }
+
+    constexpr Strong
+    operator++(int)
+    {
+        Strong old = *this;
+        ++value_;
+        return old;
+    }
+
+    constexpr Strong &
+    operator--()
+    {
+        --value_;
+        return *this;
+    }
+
+    constexpr Strong
+    operator--(int)
+    {
+        Strong old = *this;
+        --value_;
+        return old;
+    }
+
+    // Scaling by a dimensionless factor keeps the unit.
+    template <typename T,
+              typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+    friend constexpr Strong
+    operator*(Strong a, T k)
+    {
+        using Work = std::conditional_t<std::is_floating_point_v<T>,
+                                        double, Rep>;
+        return Strong(static_cast<Rep>(static_cast<Work>(a.value_) *
+                                       static_cast<Work>(k)));
+    }
+
+    template <typename T,
+              typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+    friend constexpr Strong
+    operator*(T k, Strong a)
+    {
+        return a * k;
+    }
+
+    template <typename T,
+              typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+    friend constexpr Strong
+    operator/(Strong a, T k)
+    {
+        using Work = std::conditional_t<std::is_floating_point_v<T>,
+                                        double, Rep>;
+        return Strong(static_cast<Rep>(static_cast<Work>(a.value_) /
+                                       static_cast<Work>(k)));
+    }
+
+    // Same-tag comparison only.
+    friend constexpr bool
+    operator==(Strong a, Strong b)
+    {
+        return a.value_ == b.value_;
+    }
+
+    friend constexpr bool
+    operator!=(Strong a, Strong b)
+    {
+        return a.value_ != b.value_;
+    }
+
+    friend constexpr bool
+    operator<(Strong a, Strong b)
+    {
+        return a.value_ < b.value_;
+    }
+
+    friend constexpr bool
+    operator<=(Strong a, Strong b)
+    {
+        return a.value_ <= b.value_;
+    }
+
+    friend constexpr bool
+    operator>(Strong a, Strong b)
+    {
+        return a.value_ > b.value_;
+    }
+
+    friend constexpr bool
+    operator>=(Strong a, Strong b)
+    {
+        return a.value_ >= b.value_;
+    }
+
+    friend std::ostream &
+    operator<<(std::ostream &os, Strong v)
+    {
+        return os << +v.value_;
+    }
+
+  private:
+    Rep value_{};
+};
+
+} // namespace starnuma
+
+namespace std
+{
+
+/** Strong types hash like their representation (map/set keys). */
+template <typename Tag, typename Rep>
+struct hash<starnuma::Strong<Tag, Rep>>
+{
+    size_t
+    operator()(starnuma::Strong<Tag, Rep> v) const noexcept
+    {
+        return hash<Rep>()(v.value());
+    }
+};
+
+} // namespace std
+
+#endif // STARNUMA_SIM_STRONG_HH

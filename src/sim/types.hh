@@ -10,6 +10,8 @@
 
 #include <cstdint>
 
+#include "sim/strong.hh"
+
 namespace starnuma
 {
 
@@ -17,10 +19,29 @@ namespace starnuma
 using Addr = std::uint64_t;
 
 /** Simulation time, in core clock cycles (2.4 GHz). */
-using Cycles = std::uint64_t;
+using Cycles = Strong<struct CyclesTag, std::uint64_t>;
 
 /** Signed cycle delta, for latency arithmetic that may go negative. */
-using CycleDelta = std::int64_t;
+using CycleDelta = Strong<struct CycleDeltaTag, std::int64_t>;
+
+/** Page number (page-granular index of an address). */
+using PageNum = Strong<struct PageNumTag, std::uint64_t>;
+
+/** Signed difference @p a - @p b of two absolute cycle times. */
+constexpr CycleDelta
+cycleDelta(Cycles a, Cycles b)
+{
+    return CycleDelta(static_cast<std::int64_t>(a.value()) -
+                      static_cast<std::int64_t>(b.value()));
+}
+
+/** Absolute time @p t displaced by a (possibly negative) @p d. */
+constexpr Cycles
+advance(Cycles t, CycleDelta d)
+{
+    return Cycles(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(t.value()) + d.value()));
+}
 
 /** Identifier of a CPU socket (0..N-1); the pool gets its own id. */
 using NodeId = std::int32_t;
@@ -41,14 +62,25 @@ constexpr Addr pageBytes = 4096;
 constexpr Cycles
 nsToCycles(double ns)
 {
-    return static_cast<Cycles>(ns * clockGHz + 0.5);
+    return Cycles(ns * clockGHz + 0.5);
 }
 
 /** Convert core clock cycles back to nanoseconds. */
 constexpr double
 cyclesToNs(Cycles cycles)
 {
-    return static_cast<double>(cycles) / clockGHz;
+    return static_cast<double>(cycles.value()) / clockGHz;
+}
+
+/**
+ * Convert a fractional cycle count (a mean or other derived value)
+ * to nanoseconds. Before strong types, passing a double here bound
+ * the integer overload and silently truncated the fraction.
+ */
+constexpr double
+cyclesToNs(double cycles)
+{
+    return cycles / clockGHz;
 }
 
 /**
@@ -59,8 +91,7 @@ cyclesToNs(Cycles cycles)
 constexpr Cycles
 serializationCycles(Addr bytes, double gbps)
 {
-    return static_cast<Cycles>(
-        static_cast<double>(bytes) * clockGHz / gbps + 0.5);
+    return Cycles(static_cast<double>(bytes) * clockGHz / gbps + 0.5);
 }
 
 /** Address of the cache block containing @p addr. */
@@ -78,10 +109,17 @@ pageAddr(Addr addr)
 }
 
 /** Page number (page-granular index) of @p addr. */
-constexpr Addr
+constexpr PageNum
 pageNumber(Addr addr)
 {
-    return addr / pageBytes;
+    return PageNum(addr / pageBytes);
+}
+
+/** Byte address of the first byte of page @p page. */
+constexpr Addr
+pageBase(PageNum page)
+{
+    return page.value() * pageBytes;
 }
 
 } // namespace starnuma

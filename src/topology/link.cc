@@ -7,10 +7,10 @@ namespace starnuma
 namespace topology
 {
 
-Link::Link(LinkType type, double gbps, Cycles one_way_latency,
-           std::string name)
-    : linkType(type), gbps(gbps), propLatency(one_way_latency),
-      name_(std::move(name))
+Link::Link(LinkType type, double bandwidth_gbps,
+           Cycles one_way_latency, std::string name)
+    : linkType(type), gbps(bandwidth_gbps),
+      propLatency(one_way_latency), name_(std::move(name))
 {
 }
 
@@ -20,7 +20,7 @@ Link::transfer(Dir dir, Cycles now, Addr bytes)
     Direction &d = side(dir);
     Cycles start = std::max(now, d.nextFree);
     Cycles ser = serializationCycles(bytes, gbps);
-    d.queueDelay.sample(static_cast<double>(start - now));
+    d.queueDelay.sample(static_cast<double>((start - now).value()));
     d.nextFree = start + ser;
     d.bytes += bytes;
     d.busy += ser;
@@ -31,9 +31,9 @@ void
 Link::resetContention()
 {
     for (auto &d : dirs) {
-        d.nextFree = 0;
+        d.nextFree = Cycles();
         d.bytes = 0;
-        d.busy = 0;
+        d.busy = Cycles();
         d.queueDelay.reset();
     }
 }
@@ -59,9 +59,10 @@ Link::meanQueueDelay(Dir dir) const
 double
 Link::utilization(Dir dir, Cycles horizon) const
 {
-    if (horizon == 0)
+    if (horizon == Cycles())
         return 0.0;
-    return static_cast<double>(side(dir).busy) / horizon;
+    return static_cast<double>(side(dir).busy.value()) /
+           static_cast<double>(horizon.value());
 }
 
 } // namespace topology

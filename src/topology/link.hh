@@ -37,8 +37,8 @@ enum class Dir : std::uint8_t { Forward = 0, Backward = 1 };
 class Link
 {
   public:
-    Link(LinkType type, double gbps, Cycles one_way_latency,
-         std::string name);
+    Link(LinkType type, double bandwidth_gbps,
+         Cycles one_way_latency, std::string name);
 
     LinkType type() const { return linkType; }
     const std::string &name() const { return name_; }
@@ -81,9 +81,9 @@ class Link
   private:
     struct Direction
     {
-        Cycles nextFree = 0;
+        Cycles nextFree;
         std::uint64_t bytes = 0;
-        Cycles busy = 0;
+        Cycles busy;
         stats::Mean queueDelay;
     };
 

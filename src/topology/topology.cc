@@ -161,7 +161,7 @@ Topology::classify(NodeId src, NodeId dst) const
 Cycles
 Topology::unloadedOneWay(NodeId src, NodeId dst) const
 {
-    Cycles total = 0;
+    Cycles total;
     for (const Hop &h : route(src, dst).hops)
         total += links_[h.link].propagation();
     return total;

@@ -1,5 +1,7 @@
 #include "trace/capture.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace starnuma
@@ -30,7 +32,7 @@ CaptureContext::access(ThreadId t, Addr vaddr, bool write)
 {
     sn_assert(t >= 0 && static_cast<std::size_t>(t) < state.size(),
               "access by unknown thread %d", t);
-    Addr page = pageNumber(vaddr);
+    PageNum page = pageNumber(vaddr);
     if (inSetup) {
         // Setup accesses are untimed; writes seed first touch.
         if (write && touched.try_emplace(page, t).second)
@@ -64,7 +66,10 @@ CaptureContext::take(const std::string &workload,
     t.instructionsPerThread = instructions_per_thread;
     t.footprintBytes = footprint();
     t.firstTouches = std::move(firstTouches);
+    // Sorted so captured traces are byte-identical across runs
+    // (the set's hash order is not).
     t.writtenPages.assign(written.begin(), written.end());
+    std::sort(t.writtenPages.begin(), t.writtenPages.end());
     t.perThread.reserve(state.size());
     for (auto &ts : state)
         t.perThread.push_back(std::move(ts.records));

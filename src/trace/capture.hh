@@ -112,8 +112,8 @@ class CaptureContext
     static constexpr Addr baseAddr = 0x10000000;
 
     std::vector<ThreadState> state;
-    std::unordered_set<Addr> written;
-    std::unordered_map<Addr, ThreadId> touched;
+    std::unordered_set<PageNum> written;
+    std::unordered_map<PageNum, ThreadId> touched;
     std::vector<FirstTouch> firstTouches;
     Addr nextAddr;
     bool inSetup;

@@ -26,7 +26,7 @@ SharingProfile::SharingProfile(const WorkloadTrace &trace,
         std::uint64_t accesses = 0;
         bool written = false;
     };
-    std::unordered_map<Addr, PageInfo> pages;
+    std::unordered_map<PageNum, PageInfo> pages;
 
     for (int t = 0; t < trace.threads; ++t) {
         NodeId socket = t / cores_per_socket;
@@ -40,7 +40,7 @@ SharingProfile::SharingProfile(const WorkloadTrace &trace,
         }
     }
 
-    for (Addr wp : trace.writtenPages) {
+    for (PageNum wp : trace.writtenPages) {
         auto it = pages.find(wp);
         if (it != pages.end())
             it->second.written = true;
@@ -64,7 +64,8 @@ SharingProfile::pageFraction(int degree) const
 {
     if (degree < 1 || degree > sockets_ || totalPages_ == 0)
         return 0.0;
-    return static_cast<double>(pagesByDegree[degree]) / totalPages_;
+    return static_cast<double>(pagesByDegree[degree]) /
+           static_cast<double>(totalPages_);
 }
 
 double
@@ -73,7 +74,7 @@ SharingProfile::accessFraction(int degree) const
     if (degree < 1 || degree > sockets_ || totalAccesses_ == 0)
         return 0.0;
     return static_cast<double>(accessesByDegree[degree]) /
-           totalAccesses_;
+           static_cast<double>(totalAccesses_);
 }
 
 double
@@ -101,7 +102,7 @@ SharingProfile::readWriteAccessFraction(int degree) const
         accessesByDegree[degree] == 0)
         return 0.0;
     return static_cast<double>(rwAccessesByDegree[degree]) /
-           accessesByDegree[degree];
+           static_cast<double>(accessesByDegree[degree]);
 }
 
 double
@@ -111,7 +112,7 @@ SharingProfile::readWritePageFraction(int degree) const
         pagesByDegree[degree] == 0)
         return 0.0;
     return static_cast<double>(rwPagesByDegree[degree]) /
-           pagesByDegree[degree];
+           static_cast<double>(pagesByDegree[degree]);
 }
 
 double

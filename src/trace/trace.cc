@@ -46,7 +46,9 @@ WorkloadTrace::recordsPerKiloInstruction() const
 {
     std::uint64_t instr =
         instructionsPerThread * static_cast<std::uint64_t>(threads);
-    return instr ? 1000.0 * totalRecords() / instr : 0.0;
+    return instr ? 1000.0 * static_cast<double>(totalRecords()) /
+                       static_cast<double>(instr)
+                 : 0.0;
 }
 
 bool
@@ -70,7 +72,8 @@ WorkloadTrace::save(const std::string &path) const
                           nft * sizeof(FirstTouch));
     std::uint64_t nwp = writtenPages.size();
     ok = ok && writeBytes(f, &nwp, 8);
-    ok = ok && writeBytes(f, writtenPages.data(), nwp * sizeof(Addr));
+    ok = ok && writeBytes(f, writtenPages.data(),
+                          nwp * sizeof(PageNum));
     for (const auto &t : perThread) {
         std::uint64_t n = t.size();
         ok = ok && writeBytes(f, &n, 8);
@@ -108,7 +111,8 @@ WorkloadTrace::load(const std::string &path)
     ok = ok && readBytes(f, &nwp, 8);
     if (ok) {
         writtenPages.resize(nwp);
-        ok = readBytes(f, writtenPages.data(), nwp * sizeof(Addr));
+        ok = readBytes(f, writtenPages.data(),
+                       nwp * sizeof(PageNum));
     }
     if (ok) {
         perThread.assign(nthreads, {});

@@ -33,8 +33,8 @@ struct MemRecord
     static constexpr std::uint64_t writeBit = 1ULL << 63;
 
     MemRecord() : instr(0), packed(0) {}
-    MemRecord(std::uint64_t instr, Addr vaddr, bool write)
-        : instr(instr), packed(vaddr | (write ? writeBit : 0))
+    MemRecord(std::uint64_t instr_no, Addr vaddr, bool write)
+        : instr(instr_no), packed(vaddr | (write ? writeBit : 0))
     {
     }
 
@@ -45,7 +45,7 @@ struct MemRecord
 /** First-touch seed: which thread first wrote each page in setup. */
 struct FirstTouch
 {
-    Addr page; ///< page number
+    PageNum page;
     ThreadId thread;
 };
 
@@ -68,7 +68,7 @@ struct WorkloadTrace
      * independently of the filter, so stores that hit the capture
      * filter still mark their page read-write).
      */
-    std::vector<Addr> writtenPages;
+    std::vector<PageNum> writtenPages;
 
     /** Total records across threads. */
     std::uint64_t totalRecords() const;

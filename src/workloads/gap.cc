@@ -11,9 +11,9 @@ namespace workloads
 
 // --- GapBase ---
 
-GapBase::GapBase(std::uint64_t seed, int scale, int degree)
-    : graphScale(scale), graphDegree(degree), seed(seed),
-      kernelRng(seed ^ 0x9e3779b97f4a7c15ULL)
+GapBase::GapBase(std::uint64_t rng_seed, int scale, int degree)
+    : graphScale(scale), graphDegree(degree), seed(rng_seed),
+      kernelRng(rng_seed ^ 0x9e3779b97f4a7c15ULL)
 {
 }
 

@@ -29,7 +29,7 @@ namespace workloads
 class GapBase : public Workload
 {
   public:
-    explicit GapBase(std::uint64_t seed, int scale = 17,
+    explicit GapBase(std::uint64_t rng_seed, int scale = 17,
                      int degree = 16);
 
     void setup(trace::CaptureContext &ctx,
@@ -101,8 +101,9 @@ class GapBase : public Workload
 class Bfs : public GapBase
 {
   public:
-    explicit Bfs(std::uint64_t seed, int scale = 17, int degree = 16)
-        : GapBase(seed, scale, degree)
+    explicit Bfs(std::uint64_t rng_seed, int scale = 17,
+                 int degree = 16)
+        : GapBase(rng_seed, scale, degree)
     {
     }
 
@@ -134,9 +135,9 @@ class Bfs : public GapBase
 class ConnectedComponents : public GapBase
 {
   public:
-    explicit ConnectedComponents(std::uint64_t seed, int scale = 17,
-                                 int degree = 16)
-        : GapBase(seed, scale, degree)
+    explicit ConnectedComponents(std::uint64_t rng_seed,
+                                 int scale = 17, int degree = 16)
+        : GapBase(rng_seed, scale, degree)
     {
     }
 
@@ -162,8 +163,9 @@ class ConnectedComponents : public GapBase
 class Sssp : public GapBase
 {
   public:
-    explicit Sssp(std::uint64_t seed, int scale = 17, int degree = 16)
-        : GapBase(seed, scale, degree)
+    explicit Sssp(std::uint64_t rng_seed, int scale = 17,
+                  int degree = 16)
+        : GapBase(rng_seed, scale, degree)
     {
     }
 
@@ -194,9 +196,9 @@ class Sssp : public GapBase
 class TriangleCount : public GapBase
 {
   public:
-    explicit TriangleCount(std::uint64_t seed, int scale = 17,
+    explicit TriangleCount(std::uint64_t rng_seed, int scale = 17,
                            int degree = 16)
-        : GapBase(seed, scale, degree)
+        : GapBase(rng_seed, scale, degree)
     {
     }
 

@@ -12,9 +12,9 @@ namespace workloads
 
 // --- FMI ---
 
-Fmi::Fmi(std::uint64_t seed, std::uint32_t text_size,
+Fmi::Fmi(std::uint64_t rng_seed, std::uint32_t text_size,
          int pattern_length)
-    : seed(seed), n(text_size), patternLength(pattern_length)
+    : seed(rng_seed), n(text_size), patternLength(pattern_length)
 {
 }
 
@@ -168,8 +168,8 @@ Fmi::step(ThreadId t, trace::CaptureContext &ctx)
 
 // --- POA ---
 
-Poa::Poa(std::uint64_t seed, int seq_length, int max_nodes)
-    : seed(seed), seqLength(seq_length), maxNodes(max_nodes)
+Poa::Poa(std::uint64_t rng_seed, int seq_length, int max_nodes)
+    : seed(rng_seed), seqLength(seq_length), maxNodes(max_nodes)
 {
 }
 
@@ -290,8 +290,10 @@ Poa::fillRow(ThreadId t, trace::CaptureContext &ctx)
                       : static_cast<std::int16_t>(-2 * (j - 1));
         bool match = s.dagChar[node] == s.seq[j - 1];
         std::int16_t best = std::max<std::int16_t>(
-            std::max<std::int16_t>(up - 2, left - 2),
-            diag + (match ? 2 : -1));
+            std::max<std::int16_t>(
+                static_cast<std::int16_t>(up - 2),
+                static_cast<std::int16_t>(left - 2)),
+            static_cast<std::int16_t>(diag + (match ? 2 : -1)));
         cell(s, node, j) = best;
         ctx.instr(t, 3);
         if (j % lineCells == 0) {

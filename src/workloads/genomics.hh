@@ -30,7 +30,7 @@ namespace workloads
 class Fmi : public Workload
 {
   public:
-    explicit Fmi(std::uint64_t seed, std::uint32_t text_size = 1u
+    explicit Fmi(std::uint64_t rng_seed, std::uint32_t text_size = 1u
                                                                << 21,
                  int pattern_length = 16);
 
@@ -74,7 +74,7 @@ class Fmi : public Workload
 class Poa : public Workload
 {
   public:
-    explicit Poa(std::uint64_t seed, int seq_length = 400,
+    explicit Poa(std::uint64_t rng_seed, int seq_length = 400,
                  int max_nodes = 800);
 
     std::string name() const override { return "poa"; }

@@ -20,9 +20,9 @@ constexpr Addr valueBytes = 64;
 
 } // anonymous namespace
 
-KvStore::KvStore(std::uint64_t seed, std::uint32_t keys,
+KvStore::KvStore(std::uint64_t rng_seed, std::uint32_t keys,
                  double read_fraction)
-    : seed(seed), numKeys(keys), readFraction(read_fraction)
+    : seed(rng_seed), numKeys(keys), readFraction(read_fraction)
 {
 }
 

@@ -26,8 +26,8 @@ namespace workloads
 class KvStore : public Workload
 {
   public:
-    explicit KvStore(std::uint64_t seed, std::uint32_t keys = 1u
-                                                             << 19,
+    explicit KvStore(std::uint64_t rng_seed, std::uint32_t keys = 1u
+                                                                 << 19,
                      double read_fraction = 0.5);
 
     std::string name() const override { return "masstree"; }

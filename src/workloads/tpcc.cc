@@ -7,10 +7,12 @@ namespace starnuma
 namespace workloads
 {
 
-Tpcc::Tpcc(std::uint64_t seed, int warehouses, int districts_per_wh,
-           int customers_per_district, int items)
-    : seed(seed), warehouses(warehouses), districts(districts_per_wh),
-      customers(customers_per_district), items(items)
+Tpcc::Tpcc(std::uint64_t rng_seed, int n_warehouses,
+           int districts_per_wh, int customers_per_district,
+           int n_items)
+    : seed(rng_seed), warehouses(n_warehouses),
+      districts(districts_per_wh),
+      customers(customers_per_district), items(n_items)
 {
 }
 

@@ -28,10 +28,10 @@ namespace workloads
 class Tpcc : public Workload
 {
   public:
-    explicit Tpcc(std::uint64_t seed, int warehouses = 64,
+    explicit Tpcc(std::uint64_t rng_seed, int n_warehouses = 64,
                   int districts_per_wh = 10,
                   int customers_per_district = 200,
-                  int items = 5000);
+                  int n_items = 5000);
 
     std::string name() const override { return "tpcc"; }
     void setup(trace::CaptureContext &ctx,

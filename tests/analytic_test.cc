@@ -39,7 +39,7 @@ TEST(CxlBreakdown, SwitchedConfigAddsSwitchComponent)
     for (const auto &p : parts)
         sum += p.ns;
     EXPECT_DOUBLE_EQ(sum, 190.0);
-    EXPECT_EQ(parts.back().ns, 90.0); // the CXL switch
+    EXPECT_DOUBLE_EQ(parts.back().ns, 90.0); // the CXL switch
 }
 
 TEST(CxlBreakdown, EndToEndPoolLatency)

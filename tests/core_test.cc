@@ -92,7 +92,7 @@ TEST(RegionTracker, RegionOfAndFirstPage)
     RegionTracker t(16, 16, kRegion);
     EXPECT_EQ(t.regionOf(kRegion - 1), 0u);
     EXPECT_EQ(t.regionOf(kRegion), 1u);
-    EXPECT_EQ(t.firstPage(2), 2 * kRegion / pageBytes);
+    EXPECT_EQ(t.firstPage(2), PageNum(2 * kRegion / pageBytes));
 }
 
 // --- TlbAnnex ---
@@ -139,9 +139,9 @@ TEST(TlbAnnex, ShootdownInvalidatesAndFlushes)
     TlbAnnex tlb({64, 4}, tracker, 0);
     tlb.recordAccess(0x1000);
     tlb.recordAccess(0x1008);
-    EXPECT_TRUE(tlb.shootdown(0x1000));
+    EXPECT_TRUE(tlb.shootdown(pageNumber(0x1000)));
     EXPECT_EQ(tracker.entry(0).accesses, 2u);
-    EXPECT_FALSE(tlb.shootdown(0x1000)); // already gone
+    EXPECT_FALSE(tlb.shootdown(pageNumber(0x1000))); // already gone
     // Re-access misses the TLB again.
     auto misses = tlb.tlbMisses();
     tlb.recordAccess(0x1000);
@@ -185,7 +185,7 @@ class MigrationTest : public ::testing::Test
     {
         Addr first = region * kRegion / pageBytes;
         for (Addr p = first; p < first + kRegion / pageBytes; ++p)
-            pages.setHome(p, home);
+            pages.setHome(PageNum(p), home);
     }
 
     /** Record accesses from @p sharers distinct sockets. */
@@ -209,7 +209,7 @@ TEST_F(MigrationTest, WidelySharedHotRegionGoesToPool)
     ASSERT_EQ(plan.size(), 1u);
     EXPECT_EQ(plan[0].to, 16); // pool node
     EXPECT_EQ(plan[0].from, 3);
-    EXPECT_EQ(pages.home(0), 16);
+    EXPECT_EQ(pages.home(PageNum(0)), 16);
     EXPECT_EQ(engine.migratedToPool(), 1u);
     EXPECT_DOUBLE_EQ(engine.poolMigrationFraction(), 1.0);
 }
@@ -230,7 +230,7 @@ TEST_F(MigrationTest, ColdRegionStays)
     heatRegion(0, 16, 1); // 16 accesses < HI 64
     auto plan = engine.decidePhase(tracker, pages, 100000, 1);
     EXPECT_TRUE(plan.empty());
-    EXPECT_EQ(pages.home(0), 3);
+    EXPECT_EQ(pages.home(PageNum(0)), 3);
 }
 
 TEST_F(MigrationTest, AlreadyAtBestLocationNoMove)
@@ -274,7 +274,7 @@ TEST_F(MigrationTest, PoolCapacityTriggersVictimEviction)
     EXPECT_EQ(plan[0].region, 0u);
     EXPECT_EQ(plan[0].from, 16);
     EXPECT_FALSE(plan[1].victimEviction);
-    EXPECT_EQ(pages.home(ppr), 16); // region 1's first page
+    EXPECT_EQ(pages.home(PageNum(ppr)), 16); // region 1's first page
     EXPECT_EQ(engine.victimEvictions(), 1u);
 }
 
@@ -292,7 +292,7 @@ TEST_F(MigrationTest, HotPoolResidentsAreNotVictims)
     heatRegion(1, 16, 100);
     auto plan = engine.decidePhase(tracker, pages, ppr, 2);
     EXPECT_TRUE(plan.empty());
-    EXPECT_EQ(pages.home(0), 16); // region 0 stayed
+    EXPECT_EQ(pages.home(PageNum(0)), 16); // region 0 stayed
 }
 
 TEST_F(MigrationTest, PingPongSuppression)
@@ -302,9 +302,9 @@ TEST_F(MigrationTest, PingPongSuppression)
     // phase 2, one migration > 2/4 suppresses further moves.
     heatRegion(0, 16, 100);
     engine.decidePhase(tracker, pages, 100000, 1);
-    pages.setHome(0, 3); // pretend something moved it back
+    pages.setHome(PageNum(0), 3); // pretend something moved it back
     for (Addr p = 1; p < kRegion / pageBytes; ++p)
-        pages.setHome(p, 3);
+        pages.setHome(PageNum(p), 3);
     heatRegion(0, 16, 100);
     auto plan = engine.decidePhase(tracker, pages, 100000, 2);
     EXPECT_TRUE(plan.empty());
@@ -353,7 +353,7 @@ TEST_F(MigrationTest, PlacedAtASharerStaysPut)
     heatRegion(0, 4, 100); // sharers 0..3 include the home
     auto plan = engine.decidePhase(tracker, pages, 100000, 1);
     EXPECT_TRUE(plan.empty());
-    EXPECT_EQ(pages.home(0), 2);
+    EXPECT_EQ(pages.home(PageNum(0)), 2);
 }
 
 TEST_F(MigrationTest, LiteralReshuffleFlagRestoresAlgorithm1)
@@ -399,42 +399,42 @@ TEST_F(MigrationTest, HiThresholdAdaptsDownWhenQuiet)
 TEST(PerfectPolicy, MovesPageToMajoritySocket)
 {
     mem::PageMap pages(17);
-    pages.setHome(10, 0);
+    pages.setHome(PageNum(10), 0);
     PerfectPagePolicy policy(16, 1000);
     for (int i = 0; i < 8; ++i)
-        policy.recordAccess(10, 5);
-    policy.recordAccess(10, 0);
+        policy.recordAccess(PageNum(10), 5);
+    policy.recordAccess(PageNum(10), 0);
     auto plan = policy.decidePhase(pages);
     ASSERT_EQ(plan.size(), 1u);
     EXPECT_EQ(plan[0].to, 5);
-    EXPECT_EQ(pages.home(10), 5);
+    EXPECT_EQ(pages.home(PageNum(10)), 5);
 }
 
 TEST(PerfectPolicy, RespectsLimitHottestFirst)
 {
     mem::PageMap pages(17);
-    pages.setHome(1, 0);
-    pages.setHome(2, 0);
+    pages.setHome(PageNum(1), 0);
+    pages.setHome(PageNum(2), 0);
     PerfectPagePolicy policy(16, 1);
     for (int i = 0; i < 100; ++i)
-        policy.recordAccess(1, 3);
+        policy.recordAccess(PageNum(1), 3);
     for (int i = 0; i < 10; ++i)
-        policy.recordAccess(2, 3);
+        policy.recordAccess(PageNum(2), 3);
     auto plan = policy.decidePhase(pages);
     ASSERT_EQ(plan.size(), 1u);
-    EXPECT_EQ(plan[0].page, 1u);
-    EXPECT_EQ(pages.home(2), 0);
+    EXPECT_EQ(plan[0].page, PageNum(1));
+    EXPECT_EQ(pages.home(PageNum(2)), 0);
 }
 
 TEST(PerfectPolicy, IgnoresColdAndWellPlacedPages)
 {
     mem::PageMap pages(17);
-    pages.setHome(1, 3);
-    pages.setHome(2, 0);
+    pages.setHome(PageNum(1), 3);
+    pages.setHome(PageNum(2), 0);
     PerfectPagePolicy policy(16, 1000, 4);
     for (int i = 0; i < 100; ++i)
-        policy.recordAccess(1, 3); // already home
-    policy.recordAccess(2, 5); // too cold (1 < 4)
+        policy.recordAccess(PageNum(1), 3); // already home
+    policy.recordAccess(PageNum(2), 5); // too cold (1 < 4)
     EXPECT_TRUE(policy.decidePhase(pages).empty());
 }
 
@@ -443,13 +443,13 @@ TEST(PerfectPolicy, IgnoresColdAndWellPlacedPages)
 TEST(PageStats, MajorityAndSharers)
 {
     PageAccessStats st(16);
-    st.record(7, 2);
-    st.record(7, 2);
-    st.record(7, 9);
-    EXPECT_EQ(st.majoritySocket(7), 2);
-    EXPECT_EQ(st.sharers(7), 2);
-    EXPECT_EQ(st.totalAccesses(7), 3u);
-    EXPECT_EQ(st.majoritySocket(8), -1);
+    st.record(PageNum(7), 2);
+    st.record(PageNum(7), 2);
+    st.record(PageNum(7), 9);
+    EXPECT_EQ(st.majoritySocket(PageNum(7)), 2);
+    EXPECT_EQ(st.sharers(PageNum(7)), 2);
+    EXPECT_EQ(st.totalAccesses(PageNum(7)), 3u);
+    EXPECT_EQ(st.majoritySocket(PageNum(8)), -1);
 }
 
 // --- OraclePlacement ---
@@ -458,10 +458,10 @@ TEST(Oracle, PrivatePagesGoToTheirSocket)
 {
     OraclePlacement oracle(16);
     mem::PageMap pages(17);
-    oracle.recordAccess(1, 4);
-    oracle.recordAccess(1, 4);
+    oracle.recordAccess(PageNum(1), 4);
+    oracle.recordAccess(PageNum(1), 4);
     oracle.place(pages, true, 1000);
-    EXPECT_EQ(pages.home(1), 4);
+    EXPECT_EQ(pages.home(PageNum(1)), 4);
 }
 
 TEST(Oracle, WidelySharedPagesGoToPool)
@@ -469,10 +469,10 @@ TEST(Oracle, WidelySharedPagesGoToPool)
     OraclePlacement oracle(16);
     mem::PageMap pages(17);
     for (int s = 0; s < 10; ++s)
-        oracle.recordAccess(1, s);
+        oracle.recordAccess(PageNum(1), s);
     std::uint64_t placed = oracle.place(pages, true, 1000);
     EXPECT_EQ(placed, 1u);
-    EXPECT_EQ(pages.home(1), 16);
+    EXPECT_EQ(pages.home(PageNum(1)), 16);
 }
 
 TEST(Oracle, BaselineModeNeverUsesPool)
@@ -480,9 +480,9 @@ TEST(Oracle, BaselineModeNeverUsesPool)
     OraclePlacement oracle(16);
     mem::PageMap pages(17);
     for (int s = 0; s < 16; ++s)
-        oracle.recordAccess(1, s);
+        oracle.recordAccess(PageNum(1), s);
     EXPECT_EQ(oracle.place(pages, false, 1000), 0u);
-    EXPECT_LT(pages.home(1), 16);
+    EXPECT_LT(pages.home(PageNum(1)), 16);
 }
 
 TEST(Oracle, PoolCapacityTakesHottestPages)
@@ -491,13 +491,13 @@ TEST(Oracle, PoolCapacityTakesHottestPages)
     mem::PageMap pages(17);
     // Page 1: 10 sharers, 10 accesses. Page 2: 10 sharers, 20.
     for (int s = 0; s < 10; ++s)
-        oracle.recordAccess(1, s);
+        oracle.recordAccess(PageNum(1), s);
     for (int rep = 0; rep < 2; ++rep)
         for (int s = 0; s < 10; ++s)
-            oracle.recordAccess(2, s);
+            oracle.recordAccess(PageNum(2), s);
     EXPECT_EQ(oracle.place(pages, true, 1), 1u);
-    EXPECT_EQ(pages.home(2), 16);
-    EXPECT_LT(pages.home(1), 16); // overflowed to majority socket
+    EXPECT_EQ(pages.home(PageNum(2)), 16);
+    EXPECT_LT(pages.home(PageNum(1)), 16); // overflowed to majority socket
 }
 
 // --- ShootdownModel ---
@@ -505,8 +505,8 @@ TEST(Oracle, PoolCapacityTakesHottestPages)
 TEST(Shootdown, HardwareCostIsPerPage)
 {
     ShootdownModel m;
-    EXPECT_EQ(m.hardwareCost(0), 0u);
-    EXPECT_EQ(m.hardwareCost(10), 30000u);
+    EXPECT_EQ(m.hardwareCost(0), Cycles(0));
+    EXPECT_EQ(m.hardwareCost(10), Cycles(30000));
 }
 
 TEST(Shootdown, SoftwareCostScalesWithCores)
@@ -514,7 +514,7 @@ TEST(Shootdown, SoftwareCostScalesWithCores)
     // §III-D3: conventional shootdowns interrupt every core; the
     // hardware-supported design must be orders cheaper at scale.
     ShootdownModel m;
-    EXPECT_EQ(m.softwareCost(10, 448), 10u * 448u * 4000u);
+    EXPECT_EQ(m.softwareCost(10, 448), Cycles(10u * 448u * 4000u));
     EXPECT_GT(m.softwareCost(1, 448), 100 * m.hardwareCost(1));
 }
 
@@ -523,38 +523,38 @@ TEST(Shootdown, SoftwareCostScalesWithCores)
 TEST(TlbDirectory, TracksFillsAndEvictions)
 {
     TlbDirectory dir(64);
-    dir.fill(10, 3);
-    dir.fill(10, 7);
-    EXPECT_EQ(dir.holderCount(10), 2);
-    EXPECT_TRUE(dir.holders(10).test(3));
-    dir.evict(10, 3);
-    EXPECT_EQ(dir.holderCount(10), 1);
-    dir.evict(10, 7);
+    dir.fill(PageNum(10), 3);
+    dir.fill(PageNum(10), 7);
+    EXPECT_EQ(dir.holderCount(PageNum(10)), 2);
+    EXPECT_TRUE(dir.holders(PageNum(10)).test(3));
+    dir.evict(PageNum(10), 3);
+    EXPECT_EQ(dir.holderCount(PageNum(10)), 1);
+    dir.evict(PageNum(10), 7);
     EXPECT_EQ(dir.trackedPages(), 0u);
-    dir.evict(10, 7); // idempotent
+    dir.evict(PageNum(10), 7); // idempotent
 }
 
 TEST(TlbDirectory, ShootdownTargetsOnlyHolders)
 {
     TlbDirectory dir(64);
-    dir.fill(5, 1);
-    dir.fill(5, 2);
-    EXPECT_EQ(dir.shootdown(5), 2);
+    dir.fill(PageNum(5), 1);
+    dir.fill(PageNum(5), 2);
+    EXPECT_EQ(dir.shootdown(PageNum(5)), 2);
     EXPECT_EQ(dir.shootdownsSent(), 2u);
     EXPECT_EQ(dir.shootdownsSaved(), 62u);
     // The savings vs broadcasting is the whole point of DiDi.
     EXPECT_GT(dir.savingsRatio(), 0.9);
-    EXPECT_EQ(dir.shootdown(5), 0); // already clear
+    EXPECT_EQ(dir.shootdown(PageNum(5)), 0); // already clear
 }
 
 TEST(TlbDirectory, SupportsWideSystems)
 {
     TlbDirectory dir(128); // SC3: 128 threads
-    dir.fill(1, 127);
-    dir.fill(1, 0);
-    EXPECT_TRUE(dir.holders(1).test(127));
-    EXPECT_EQ(dir.holderCount(1), 2);
-    EXPECT_EQ(dir.shootdown(1), 2);
+    dir.fill(PageNum(1), 127);
+    dir.fill(PageNum(1), 0);
+    EXPECT_TRUE(dir.holders(PageNum(1)).test(127));
+    EXPECT_EQ(dir.holderCount(PageNum(1)), 2);
+    EXPECT_EQ(dir.shootdown(PageNum(1)), 2);
 }
 
 TEST(TlbDirectory, AnnexIntegrationMirrorsResidency)
@@ -565,14 +565,14 @@ TEST(TlbDirectory, AnnexIntegrationMirrorsResidency)
     tlb.attachDirectory(&dir, 2);
 
     tlb.recordAccess(0x0);
-    EXPECT_TRUE(dir.holders(0).test(2));
+    EXPECT_TRUE(dir.holders(PageNum(0)).test(2));
     // Conflict eviction (same set): directory entry follows.
     tlb.recordAccess(4 * pageBytes);
-    EXPECT_FALSE(dir.holders(0).test(2));
-    EXPECT_TRUE(dir.holders(4).test(2));
+    EXPECT_FALSE(dir.holders(PageNum(0)).test(2));
+    EXPECT_TRUE(dir.holders(PageNum(4)).test(2));
     // Annex-side shootdown also clears the directory.
-    tlb.shootdown(4 * pageBytes);
-    EXPECT_EQ(dir.holderCount(4), 0);
+    tlb.shootdown(pageNumber(4 * pageBytes));
+    EXPECT_EQ(dir.holderCount(PageNum(4)), 0);
 }
 
 } // anonymous namespace

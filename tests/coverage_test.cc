@@ -30,11 +30,11 @@ using topology::LinkType;
 TEST(LinkStats, BytesBusyAndQueueAccounting)
 {
     Link link(LinkType::UPI, 3.0, nsToCycles(25), "test-link");
-    EXPECT_EQ(link.bandwidthGbps(), 3.0);
+    EXPECT_DOUBLE_EQ(link.bandwidthGbps(), 3.0);
     EXPECT_EQ(link.name(), "test-link");
 
-    Cycles a1 = link.transfer(Dir::Forward, 0, 72);
-    Cycles a2 = link.transfer(Dir::Forward, 0, 72);
+    Cycles a1 = link.transfer(Dir::Forward, Cycles(0), 72);
+    Cycles a2 = link.transfer(Dir::Forward, Cycles(0), 72);
     EXPECT_GT(a2, a1);
     EXPECT_EQ(link.bytesMoved(Dir::Forward), 144u);
     EXPECT_EQ(link.bytesMoved(Dir::Backward), 0u);
@@ -43,33 +43,35 @@ TEST(LinkStats, BytesBusyAndQueueAccounting)
     // The second message queued for one serialization slot.
     EXPECT_DOUBLE_EQ(
         link.meanQueueDelay(Dir::Forward),
-        serializationCycles(72, 3.0) / 2.0);
-    EXPECT_GT(link.utilization(Dir::Forward, 1000), 0.0);
-    EXPECT_EQ(link.utilization(Dir::Forward, 0), 0.0);
+        static_cast<double>(serializationCycles(72, 3.0).value()) /
+            2.0);
+    EXPECT_GT(link.utilization(Dir::Forward, Cycles(1000)), 0.0);
+    EXPECT_DOUBLE_EQ(link.utilization(Dir::Forward, Cycles(0)),
+                     0.0);
 }
 
 TEST(LinkStats, UnloadedArrivalDoesNotMutate)
 {
     Link link(LinkType::CXL, 6.0, nsToCycles(50), "cxl");
-    Cycles probe = link.unloadedArrival(100, 72);
-    EXPECT_EQ(probe,
-              100 + serializationCycles(72, 6.0) + nsToCycles(50));
+    Cycles probe = link.unloadedArrival(Cycles(100), 72);
+    EXPECT_EQ(probe, Cycles(100) + serializationCycles(72, 6.0) +
+                         nsToCycles(50));
     EXPECT_EQ(link.bytesMoved(Dir::Forward), 0u);
     // A real transfer now still starts from an idle link.
-    EXPECT_EQ(link.transfer(Dir::Forward, 100, 72), probe);
+    EXPECT_EQ(link.transfer(Dir::Forward, Cycles(100), 72), probe);
 }
 
 TEST(EventQueueAccessors, PendingAndEmpty)
 {
     EventQueue q;
     EXPECT_TRUE(q.empty());
-    q.schedule(5, [] {});
-    q.schedule(9, [] {});
+    q.schedule(Cycles(5), [] {});
+    q.schedule(Cycles(9), [] {});
     EXPECT_EQ(q.pending(), 2u);
     EXPECT_FALSE(q.empty());
     q.run();
     EXPECT_TRUE(q.empty());
-    EXPECT_EQ(q.now(), 9u);
+    EXPECT_EQ(q.now(), Cycles(9));
 }
 
 TEST(TraceCache, CachedGeneratesOnceThenLoads)
@@ -136,9 +138,9 @@ TEST(CoverageDeathTest, TableRowWidthMismatchPanics)
 TEST(CoverageDeathTest, EventQueueSchedulingIntoPastPanics)
 {
     EventQueue q;
-    q.schedule(100, [] {});
+    q.schedule(Cycles(100), [] {});
     q.run();
-    EXPECT_DEATH(q.schedule(50, [] {}), "assertion");
+    EXPECT_DEATH(q.schedule(Cycles(50), [] {}), "assertion");
 }
 
 TEST(CoverageDeathTest, RouteOutOfRangePanics)

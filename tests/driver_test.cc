@@ -60,7 +60,7 @@ syntheticTrace(const SimScale &scale, int shared_pages,
     for (ThreadId th = 0; th < t.threads; ++th) {
         // Private page seeded by setup first touch.
         t.firstTouches.push_back(
-            {pageNumber(private_base) + th, th});
+            {pageNumber(private_base) + PageNum(th), th});
         for (int phase = 0; phase < scale.phases; ++phase) {
             std::uint64_t base =
                 static_cast<std::uint64_t>(phase) *
@@ -85,7 +85,8 @@ syntheticTrace(const SimScale &scale, int shared_pages,
     }
     for (int p = 0; p < shared_pages; ++p)
         if (writes)
-            t.writtenPages.push_back(pageNumber(shared_base) + p);
+            t.writtenPages.push_back(pageNumber(shared_base) +
+                                     PageNum(p));
     return t;
 }
 
@@ -111,7 +112,7 @@ TEST(TraceSim, FirstTouchSeedsPrivatePagesLocally)
     SystemSetup setup = SystemSetup::baseline();
     TraceSim sim(setup, s);
     auto result = sim.run(trace);
-    Addr private_page =
+    PageNum private_page =
         pageNumber(0x10000000 + 4 * pageBytes); // thread 0's page
     auto it = result.checkpoints[0].pageHome.find(private_page);
     ASSERT_NE(it, result.checkpoints[0].pageHome.end());
@@ -173,7 +174,7 @@ TEST(TraceSim, PoolCapacityFractionRespected)
     EXPECT_LE(result.pagesInPool, result.poolCapacityPages);
     EXPECT_EQ(result.poolCapacityPages,
               static_cast<std::uint64_t>(
-                  result.footprintPages *
+                  static_cast<double>(result.footprintPages) *
                   setup.sys.poolCapacityFraction));
 }
 

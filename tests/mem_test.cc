@@ -135,24 +135,24 @@ TEST(Dram, UnloadedLatencyMatchesConfig)
 {
     DramChannel ch(DramConfig{});
     EXPECT_EQ(ch.unloadedLatency(), nsToCycles(50.0));
-    EXPECT_EQ(ch.access(0, 0x0), nsToCycles(50.0));
+    EXPECT_EQ(ch.access(Cycles(0), 0x0), nsToCycles(50.0));
 }
 
 TEST(Dram, SameBankAccessesSerialize)
 {
     DramConfig cfg;
     DramChannel ch(cfg);
-    Cycles a1 = ch.access(0, 0x0);
-    Cycles a2 = ch.access(0, 0x0); // same bank
-    EXPECT_GE(a2 - a1, nsToCycles(cfg.bankBusyNs) - 1);
+    Cycles a1 = ch.access(Cycles(0), 0x0);
+    Cycles a2 = ch.access(Cycles(0), 0x0); // same bank
+    EXPECT_GE(a2 - a1, nsToCycles(cfg.bankBusyNs) - Cycles(1));
 }
 
 TEST(Dram, DifferentBanksOverlap)
 {
     DramConfig cfg;
     DramChannel ch(cfg);
-    Cycles a1 = ch.access(0, 0 * blockBytes);
-    Cycles a2 = ch.access(0, 1 * blockBytes); // adjacent bank
+    Cycles a1 = ch.access(Cycles(0), 0 * blockBytes);
+    Cycles a2 = ch.access(Cycles(0), 1 * blockBytes); // adjacent bank
     // Only the shared data bus separates them.
     EXPECT_EQ(a2 - a1, serializationCycles(blockBytes, cfg.busGbps));
 }
@@ -160,8 +160,8 @@ TEST(Dram, DifferentBanksOverlap)
 TEST(Dram, ControllerInterleavesChannels)
 {
     MemoryController mc(2, DramConfig{});
-    Cycles a1 = mc.access(0, 0 * blockBytes);
-    Cycles a2 = mc.access(0, 1 * blockBytes); // other channel
+    Cycles a1 = mc.access(Cycles(0), 0 * blockBytes);
+    Cycles a2 = mc.access(Cycles(0), 1 * blockBytes); // other channel
     EXPECT_EQ(a1, a2);
     EXPECT_EQ(mc.requests(), 2u);
 }
@@ -170,18 +170,18 @@ TEST(Dram, ResetContentionRestoresUnloaded)
 {
     MemoryController mc(1, DramConfig{});
     for (int i = 0; i < 100; ++i)
-        mc.access(0, 0);
+        mc.access(Cycles(0), 0);
     mc.resetContention();
-    EXPECT_EQ(mc.access(0, 0), mc.unloadedLatency());
+    EXPECT_EQ(mc.access(Cycles(0), 0), mc.unloadedLatency());
 }
 
 TEST(Dram, SameRowHammerPipelinesThroughRowBuffer)
 {
     DramConfig cfg;
     DramChannel ch(cfg);
-    Cycles last = 0;
+    Cycles last;
     for (int i = 0; i < 64; ++i)
-        last = ch.access(0, 0); // same block: row hits after #1
+        last = ch.access(Cycles(0), 0); // same block: row hits after #1
     EXPECT_GE(last, 63 * nsToCycles(cfg.rowHitNs));
     EXPECT_LT(last, 63 * nsToCycles(cfg.bankBusyNs));
     EXPECT_EQ(ch.rowHits(), 63u);
@@ -195,9 +195,9 @@ TEST(Dram, RowConflictsPayFullRowCycle)
     // Alternate between two rows of the same bank: every access is
     // a row miss and serializes at the full row-cycle time.
     Addr stride = cfg.rowBytes * cfg.banks;
-    Cycles last = 0;
+    Cycles last;
     for (int i = 0; i < 32; ++i)
-        last = ch.access(0, (i % 2) * stride);
+        last = ch.access(Cycles(0), (i % 2) * stride);
     EXPECT_EQ(ch.rowHits(), 0u);
     EXPECT_GE(last, 31 * nsToCycles(cfg.bankBusyNs));
 }
@@ -207,10 +207,10 @@ TEST(Dram, RowConflictsPayFullRowCycle)
 TEST(PageMap, FirstTouchSticks)
 {
     PageMap pm(17);
-    EXPECT_EQ(pm.home(5), invalidNode);
-    EXPECT_EQ(pm.touch(5, 3), 3);
-    EXPECT_EQ(pm.touch(5, 9), 3); // later toucher does not move it
-    EXPECT_EQ(pm.home(5), 3);
+    EXPECT_EQ(pm.home(PageNum(5)), invalidNode);
+    EXPECT_EQ(pm.touch(PageNum(5), 3), 3);
+    EXPECT_EQ(pm.touch(PageNum(5), 9), 3); // later toucher does not move it
+    EXPECT_EQ(pm.home(PageNum(5)), 3);
     EXPECT_EQ(pm.pagesAt(3), 1u);
     EXPECT_EQ(pm.firstTouchPages(), 1u);
 }
@@ -218,31 +218,31 @@ TEST(PageMap, FirstTouchSticks)
 TEST(PageMap, SetHomeMovesCounts)
 {
     PageMap pm(17);
-    pm.touch(1, 0);
-    pm.touch(2, 0);
-    pm.setHome(1, 16); // migrate to pool
+    pm.touch(PageNum(1), 0);
+    pm.touch(PageNum(2), 0);
+    pm.setHome(PageNum(1), 16); // migrate to pool
     EXPECT_EQ(pm.pagesAt(0), 1u);
     EXPECT_EQ(pm.pagesAt(16), 1u);
-    EXPECT_EQ(pm.home(1), 16);
+    EXPECT_EQ(pm.home(PageNum(1)), 16);
     EXPECT_EQ(pm.totalPages(), 2u);
 }
 
 TEST(PageMap, SetHomeOnUnmappedPageMaps)
 {
     PageMap pm(4);
-    pm.setHome(7, 2);
-    EXPECT_EQ(pm.home(7), 2);
+    pm.setHome(PageNum(7), 2);
+    EXPECT_EQ(pm.home(PageNum(7)), 2);
     EXPECT_EQ(pm.pagesAt(2), 1u);
 }
 
 TEST(PageMap, ForEachVisitsAll)
 {
     PageMap pm(4);
-    pm.touch(1, 0);
-    pm.touch(2, 1);
-    pm.touch(3, 2);
+    pm.touch(PageNum(1), 0);
+    pm.touch(PageNum(2), 1);
+    pm.touch(PageNum(3), 2);
     int visits = 0;
-    pm.forEach([&](Addr, NodeId) { ++visits; });
+    pm.forEach([&](PageNum, NodeId) { ++visits; });
     EXPECT_EQ(visits, 3);
 }
 

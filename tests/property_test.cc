@@ -41,11 +41,11 @@ TEST_P(EventQueueOrder, RandomScheduleExecutesInTimeOrder)
     std::vector<Cycles> seen;
     // Seed events; some events schedule more events.
     for (int i = 0; i < 200; ++i) {
-        Cycles when = rng.range32(10000);
+        Cycles when(rng.range32(10000));
         q.schedule(when, [&q, &seen, &rng] {
             seen.push_back(q.now());
             if (rng.chance(0.3))
-                q.scheduleAfter(1 + rng.range32(100),
+                q.scheduleAfter(Cycles(1 + rng.range32(100)),
                                 [&q, &seen] {
                                     seen.push_back(q.now());
                                 });
@@ -136,7 +136,7 @@ TEST_P(MigrationInvariants, PagesConservedAndPoolBounded)
     // Map every region somewhere.
     for (core::RegionId r = 0; r < n_regions; ++r)
         for (int p = 0; p < ppr; ++p)
-            pages.setHome(r * ppr + p,
+            pages.setHome(PageNum(r * ppr + p),
                           static_cast<NodeId>(rng.range32(16)));
     std::uint64_t total = pages.totalPages();
     std::uint64_t pool_cap = 10 * ppr;
@@ -213,9 +213,9 @@ TEST_P(DramBanks, CompletionNeverBeforeUnloaded)
     cfg.banks = GetParam();
     mem::DramChannel ch(cfg);
     Rng rng(13);
-    Cycles now = 0;
+    Cycles now;
     for (int i = 0; i < 2000; ++i) {
-        now += rng.range32(20);
+        now += Cycles(rng.range32(20));
         Cycles done = ch.access(now, rng.range32(1 << 24));
         EXPECT_GE(done, now + ch.unloadedLatency());
     }
@@ -262,9 +262,9 @@ TEST(TopologyProperty, ContendedNeverFasterThanUnloaded)
 {
     topology::Topology t(topology::SystemConfig::starnuma16());
     Rng rng(19);
-    Cycles now = 0;
+    Cycles now;
     for (int i = 0; i < 2000; ++i) {
-        now += rng.range32(5);
+        now += Cycles(rng.range32(5));
         NodeId src = rng.range32(16);
         NodeId dst = rng.range32(t.nodes());
         if (src == dst)

@@ -50,7 +50,7 @@ replicationTrace(const SimScale &scale, int ro_pages = 1)
     t.footprintBytes = (ro_pages + 1 + t.threads) * pageBytes;
     for (ThreadId th = 0; th < t.threads; ++th) {
         t.firstTouches.push_back(
-            {pageNumber(priv_base) + th, th});
+            {pageNumber(priv_base) + PageNum(th), th});
         std::uint64_t instr = 50;
         for (int i = 0; i < 300; ++i) {
             t.perThread[th].emplace_back(

@@ -23,12 +23,12 @@ namespace
 TEST(Types, NsToCyclesAtPaperClock)
 {
     // 2.4 GHz: 1 ns = 2.4 cycles.
-    EXPECT_EQ(nsToCycles(0.0), 0u);
-    EXPECT_EQ(nsToCycles(10.0), 24u);
-    EXPECT_EQ(nsToCycles(80.0), 192u);
-    EXPECT_EQ(nsToCycles(130.0), 312u);
-    EXPECT_EQ(nsToCycles(360.0), 864u);
-    EXPECT_EQ(nsToCycles(180.0), 432u);
+    EXPECT_EQ(nsToCycles(0.0), Cycles(0));
+    EXPECT_EQ(nsToCycles(10.0), Cycles(24));
+    EXPECT_EQ(nsToCycles(80.0), Cycles(192));
+    EXPECT_EQ(nsToCycles(130.0), Cycles(312));
+    EXPECT_EQ(nsToCycles(360.0), Cycles(864));
+    EXPECT_EQ(nsToCycles(180.0), Cycles(432));
 }
 
 TEST(Types, CyclesToNsRoundTrips)
@@ -40,16 +40,16 @@ TEST(Types, CyclesToNsRoundTrips)
 TEST(Types, SerializationCycles)
 {
     // 64B at 3 GB/s: 21.33 ns = 51.2 cycles.
-    EXPECT_EQ(serializationCycles(64, 3.0), 51u);
+    EXPECT_EQ(serializationCycles(64, 3.0), Cycles(51));
     // 72B data message at 6 GB/s (CXL scaled): 12 ns = 28.8 cycles.
-    EXPECT_EQ(serializationCycles(72, 6.0), 29u);
+    EXPECT_EQ(serializationCycles(72, 6.0), Cycles(29));
 }
 
 TEST(Types, AddressHelpers)
 {
     EXPECT_EQ(blockAddr(0x12345), 0x12340u);
     EXPECT_EQ(pageAddr(0x12345), 0x12000u);
-    EXPECT_EQ(pageNumber(0x12345), 0x12u);
+    EXPECT_EQ(pageNumber(0x12345), PageNum(0x12));
     EXPECT_EQ(blockAddr(0x1000), 0x1000u);
 }
 
@@ -57,9 +57,9 @@ TEST(EventQueue, RunsInTimeOrder)
 {
     EventQueue q;
     std::vector<int> order;
-    q.schedule(30, [&] { order.push_back(3); });
-    q.schedule(10, [&] { order.push_back(1); });
-    q.schedule(20, [&] { order.push_back(2); });
+    q.schedule(Cycles(30), [&] { order.push_back(3); });
+    q.schedule(Cycles(10), [&] { order.push_back(1); });
+    q.schedule(Cycles(20), [&] { order.push_back(2); });
     q.run();
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
     EXPECT_EQ(q.executed(), 3u);
@@ -70,7 +70,7 @@ TEST(EventQueue, SameCycleEventsAreFifo)
     EventQueue q;
     std::vector<int> order;
     for (int i = 0; i < 8; ++i)
-        q.schedule(5, [&order, i] { order.push_back(i); });
+        q.schedule(Cycles(5), [&order, i] { order.push_back(i); });
     q.run();
     for (int i = 0; i < 8; ++i)
         EXPECT_EQ(order[i], i);
@@ -80,22 +80,22 @@ TEST(EventQueue, CallbackMaySchedule)
 {
     EventQueue q;
     int fired = 0;
-    q.schedule(1, [&] {
+    q.schedule(Cycles(1), [&] {
         ++fired;
-        q.scheduleAfter(4, [&] { ++fired; });
+        q.scheduleAfter(Cycles(4), [&] { ++fired; });
     });
     q.run();
     EXPECT_EQ(fired, 2);
-    EXPECT_EQ(q.now(), 5u);
+    EXPECT_EQ(q.now(), Cycles(5));
 }
 
 TEST(EventQueue, RunRespectsLimit)
 {
     EventQueue q;
     int fired = 0;
-    q.schedule(10, [&] { ++fired; });
-    q.schedule(100, [&] { ++fired; });
-    EXPECT_EQ(q.run(50), 1u);
+    q.schedule(Cycles(10), [&] { ++fired; });
+    q.schedule(Cycles(100), [&] { ++fired; });
+    EXPECT_EQ(q.run(Cycles(50)), 1u);
     EXPECT_EQ(fired, 1);
     EXPECT_EQ(q.pending(), 1u);
     q.run();
@@ -105,16 +105,16 @@ TEST(EventQueue, RunRespectsLimit)
 TEST(EventQueue, EmptyRunAdvancesToLimit)
 {
     EventQueue q;
-    q.run(1000);
-    EXPECT_EQ(q.now(), 1000u);
+    q.run(Cycles(1000));
+    EXPECT_EQ(q.now(), Cycles(1000));
 }
 
 TEST(EventQueue, StepExecutesOne)
 {
     EventQueue q;
     int fired = 0;
-    q.schedule(1, [&] { ++fired; });
-    q.schedule(2, [&] { ++fired; });
+    q.schedule(Cycles(1), [&] { ++fired; });
+    q.schedule(Cycles(2), [&] { ++fired; });
     EXPECT_TRUE(q.step());
     EXPECT_EQ(fired, 1);
     EXPECT_TRUE(q.step());
@@ -176,7 +176,8 @@ TEST(Rng, SkewedFavorsLowIndices)
     for (std::uint64_t i = 0; i < total; ++i)
         low += (r.skewed(1000, 3.0) < 100);
     // With theta=3, ~46% of mass lands in the first 10% of indices.
-    EXPECT_GT(static_cast<double>(low) / total, 0.30);
+    EXPECT_GT(static_cast<double>(low) / static_cast<double>(total),
+              0.30);
 }
 
 TEST(Rng, ShufflePreservesElements)
@@ -192,7 +193,7 @@ TEST(Rng, ShufflePreservesElements)
 TEST(Stats, MeanBasics)
 {
     stats::Mean m;
-    EXPECT_EQ(m.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(m.mean(), 0.0);
     m.sample(10);
     m.sample(20);
     m.sample(30);
@@ -240,7 +241,7 @@ TEST(Stats, Geomean)
 {
     EXPECT_DOUBLE_EQ(stats::geomean({4.0, 1.0}), 2.0);
     EXPECT_NEAR(stats::geomean({1.2, 1.5, 2.0}), 1.5326, 1e-3);
-    EXPECT_EQ(stats::geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(stats::geomean({}), 0.0);
 }
 
 TEST(Table, FormatsAligned)

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for the tagged-integer strong types (DESIGN.md §8):
+ * arithmetic, ordering, hashing, and the ns/cycle conversion
+ * round-trips at boundary values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <type_traits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/types.hh"
+
+namespace starnuma
+{
+namespace
+{
+
+TEST(StrongTypes, DefaultConstructionIsZero)
+{
+    Cycles c;
+    PageNum p;
+    CycleDelta d;
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(p.value(), 0u);
+    EXPECT_EQ(d.value(), 0);
+}
+
+TEST(StrongTypes, SameTagArithmetic)
+{
+    Cycles a(100), b(40);
+    EXPECT_EQ(a + b, Cycles(140));
+    EXPECT_EQ(a - b, Cycles(60));
+    EXPECT_EQ(a % b, Cycles(20));
+    a += b;
+    EXPECT_EQ(a, Cycles(140));
+    a -= Cycles(40);
+    EXPECT_EQ(a, Cycles(100));
+    ++a;
+    EXPECT_EQ(a, Cycles(101));
+    a--;
+    EXPECT_EQ(a, Cycles(100));
+}
+
+TEST(StrongTypes, SameTagDivisionDropsTheTag)
+{
+    // Cycles / Cycles is a dimensionless ratio, not a Cycles value.
+    auto ratio = Cycles(1000) / Cycles(250);
+    static_assert(std::is_same_v<decltype(ratio), std::uint64_t>);
+    EXPECT_EQ(ratio, 4u);
+}
+
+TEST(StrongTypes, ScalingByDimensionlessFactorKeepsTheTag)
+{
+    EXPECT_EQ(Cycles(100) * 3, Cycles(300));
+    EXPECT_EQ(3 * Cycles(100), Cycles(300));
+    EXPECT_EQ(Cycles(100) / 4, Cycles(25));
+    // Floating-point scaling goes through a double intermediate.
+    Cycles scaled_up = Cycles(100) * 2.5;
+    Cycles scaled_down = Cycles(100) / 2.5;
+    EXPECT_EQ(scaled_up, Cycles(250));
+    EXPECT_EQ(scaled_down, Cycles(40));
+}
+
+TEST(StrongTypes, Ordering)
+{
+    EXPECT_LT(Cycles(1), Cycles(2));
+    EXPECT_LE(Cycles(2), Cycles(2));
+    EXPECT_GT(PageNum(9), PageNum(3));
+    EXPECT_GE(PageNum(3), PageNum(3));
+    EXPECT_NE(Cycles(1), Cycles(2));
+    EXPECT_EQ(std::max(Cycles(5), Cycles(7)), Cycles(7));
+}
+
+TEST(StrongTypes, MinMaxMatchRepresentationLimits)
+{
+    EXPECT_EQ(Cycles::max().value(),
+              std::numeric_limits<std::uint64_t>::max());
+    EXPECT_EQ(Cycles::min().value(), 0u);
+    EXPECT_EQ(CycleDelta::min().value(),
+              std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(StrongTypes, HashingMatchesRepresentation)
+{
+    EXPECT_EQ(std::hash<PageNum>()(PageNum(42)),
+              std::hash<std::uint64_t>()(42u));
+
+    std::unordered_set<PageNum> pages;
+    pages.insert(PageNum(1));
+    pages.insert(PageNum(1));
+    pages.insert(PageNum(2));
+    EXPECT_EQ(pages.size(), 2u);
+    EXPECT_TRUE(pages.count(PageNum(2)));
+
+    std::unordered_map<PageNum, int> homes;
+    homes[PageNum(7)] = 3;
+    EXPECT_EQ(homes.at(PageNum(7)), 3);
+}
+
+TEST(StrongTypes, StreamOutput)
+{
+    std::ostringstream os;
+    os << Cycles(1234) << " " << CycleDelta(-5);
+    EXPECT_EQ(os.str(), "1234 -5");
+}
+
+TEST(StrongTypes, CycleDeltaArithmetic)
+{
+    EXPECT_EQ(cycleDelta(Cycles(10), Cycles(30)), CycleDelta(-20));
+    EXPECT_EQ(advance(Cycles(30), CycleDelta(-20)), Cycles(10));
+    EXPECT_EQ(advance(Cycles(10), CycleDelta(20)), Cycles(30));
+}
+
+TEST(StrongTypes, PageNumberRoundTrip)
+{
+    EXPECT_EQ(pageNumber(0), PageNum(0));
+    EXPECT_EQ(pageNumber(pageBytes - 1), PageNum(0));
+    EXPECT_EQ(pageNumber(pageBytes), PageNum(1));
+    // pageBase inverts pageNumber on page-aligned addresses.
+    for (Addr a : {Addr(0), pageBytes, 37 * pageBytes}) {
+        EXPECT_EQ(pageBase(pageNumber(a)), a);
+    }
+    // The largest representable page round-trips too.
+    Addr top = ~Addr(0) & ~(pageBytes - 1);
+    EXPECT_EQ(pageBase(pageNumber(top)), top);
+}
+
+TEST(StrongTypes, NsToCyclesRoundTripAtBoundaries)
+{
+    // 2.4 GHz: 1 ns is 2.4 cycles, rounded to nearest.
+    EXPECT_EQ(nsToCycles(0.0), Cycles(0));
+    EXPECT_EQ(nsToCycles(1.0), Cycles(2));
+    EXPECT_EQ(nsToCycles(10.0), Cycles(24));
+    EXPECT_EQ(nsToCycles(0.2), Cycles(0)); // 0.48 rounds down
+    EXPECT_EQ(nsToCycles(0.3), Cycles(1)); // 0.72 rounds up
+
+    // ns -> cycles -> ns is exact whenever ns * 2.4 is integral.
+    for (double ns : {0.0, 5.0, 50.0, 250.0, 1e6}) {
+        EXPECT_DOUBLE_EQ(cyclesToNs(nsToCycles(ns)), ns);
+    }
+    // Otherwise the error is bounded by half a cycle.
+    for (double ns : {0.1, 1.3, 99.9, 12345.6}) {
+        double back = cyclesToNs(nsToCycles(ns));
+        EXPECT_NEAR(back, ns, 0.5 / clockGHz);
+    }
+}
+
+TEST(StrongTypes, CyclesToNsDoubleOverloadKeepsFractions)
+{
+    // The double overload must not truncate fractional cycle counts
+    // (means of distributions); 1.2 cycles is exactly 0.5 ns.
+    EXPECT_DOUBLE_EQ(cyclesToNs(1.2), 0.5);
+    EXPECT_DOUBLE_EQ(cyclesToNs(0.0), 0.0);
+}
+
+TEST(StrongTypes, SerializationCyclesBoundaries)
+{
+    EXPECT_EQ(serializationCycles(0, 3.0), Cycles(0));
+    // 1 byte at 2.4 GB/s: exactly one cycle.
+    EXPECT_EQ(serializationCycles(1, 2.4), Cycles(1));
+    // A 4 KiB page at 3 GB/s: 4096 * 0.8 = 3276.8 -> 3277.
+    EXPECT_EQ(serializationCycles(pageBytes, 3.0), Cycles(3277));
+}
+
+} // namespace
+} // namespace starnuma

@@ -50,8 +50,9 @@ TEST_P(EveryConfig, TopologyBuildsAndRoutesResolve)
     EXPECT_EQ(t.nodes(), c.sockets + (c.hasPool ? 1 : 0));
     for (NodeId a = 0; a < t.nodes(); ++a)
         for (NodeId b = 0; b < t.nodes(); ++b)
-            if (a != b)
+            if (a != b) {
                 EXPECT_FALSE(t.route(a, b).hops.empty());
+            }
 }
 
 TEST_P(EveryConfig, LatencyClassesAreOrdered)
@@ -63,8 +64,9 @@ TEST_P(EveryConfig, LatencyClassesAreOrdered)
     for (NodeId dst = 1; dst < t.nodes(); ++dst) {
         Cycles lat = t.unloadedMemoryAccess(0, dst);
         EXPECT_GT(lat, local) << "dst " << dst;
-        if (t.classify(0, dst) == AccessClass::TwoHop)
+        if (t.classify(0, dst) == AccessClass::TwoHop) {
             EXPECT_EQ(lat, nsToCycles(c.twoHopNs()));
+        }
     }
 }
 

@@ -112,8 +112,8 @@ TEST(Topology, ChassisMapping)
 TEST(Topology, SendMatchesUnloadedWhenIdle)
 {
     Topology t(SystemConfig::starnuma16());
-    Cycles arrival = t.send(0, 15, 1000, ctrlBytes);
-    Cycles expect = 1000 + t.unloadedOneWay(0, 15) +
+    Cycles arrival = t.send(0, 15, Cycles(1000), ctrlBytes);
+    Cycles expect = Cycles(1000) + t.unloadedOneWay(0, 15) +
                     3 * serializationCycles(ctrlBytes, 3.0);
     EXPECT_EQ(arrival, expect);
 }
@@ -123,25 +123,25 @@ TEST(Topology, ContentionQueuesMessages)
     Topology t(SystemConfig::baseline16());
     // Two back-to-back data messages on the same single-link route:
     // the second must wait for the first's serialization slot.
-    Cycles a1 = t.send(0, 1, 0, dataBytes);
-    Cycles a2 = t.send(0, 1, 0, dataBytes);
+    Cycles a1 = t.send(0, 1, Cycles(0), dataBytes);
+    Cycles a2 = t.send(0, 1, Cycles(0), dataBytes);
     EXPECT_EQ(a2 - a1, serializationCycles(dataBytes, 3.0));
 }
 
 TEST(Topology, OppositeDirectionsDoNotContend)
 {
     Topology t(SystemConfig::baseline16());
-    Cycles a1 = t.send(0, 1, 0, dataBytes);
-    Cycles a2 = t.send(1, 0, 0, dataBytes);
+    Cycles a1 = t.send(0, 1, Cycles(0), dataBytes);
+    Cycles a2 = t.send(1, 0, Cycles(0), dataBytes);
     EXPECT_EQ(a1, a2);
 }
 
 TEST(Topology, ResetContentionClearsQueues)
 {
     Topology t(SystemConfig::baseline16());
-    t.send(0, 1, 0, dataBytes);
+    t.send(0, 1, Cycles(0), dataBytes);
     t.resetContention();
-    Cycles a = t.send(0, 1, 0, dataBytes);
+    Cycles a = t.send(0, 1, Cycles(0), dataBytes);
     EXPECT_EQ(a, serializationCycles(dataBytes, 3.0) +
                      t.unloadedOneWay(0, 1));
     EXPECT_EQ(t.bytesByType(LinkType::UPI), dataBytes);
@@ -150,8 +150,8 @@ TEST(Topology, ResetContentionClearsQueues)
 TEST(Topology, BytesAccounting)
 {
     Topology t(SystemConfig::starnuma16());
-    t.send(0, t.poolNode(), 0, dataBytes);
-    t.send(0, 15, 0, ctrlBytes);
+    t.send(0, t.poolNode(), Cycles(0), dataBytes);
+    t.send(0, 15, Cycles(0), ctrlBytes);
     EXPECT_EQ(t.bytesByType(LinkType::CXL), dataBytes);
     EXPECT_EQ(t.bytesByType(LinkType::UPI), 2 * ctrlBytes);
     EXPECT_EQ(t.bytesByType(LinkType::NUMALink), ctrlBytes);

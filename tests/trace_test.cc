@@ -107,8 +107,8 @@ TEST(Trace, SaveLoadRoundTrip)
     t.perThread[0].emplace_back(10, 0x1000, false);
     t.perThread[0].emplace_back(20, 0x2040, true);
     t.perThread[1].emplace_back(5, 0x3000, false);
-    t.firstTouches.push_back({1, 0});
-    t.firstTouches.push_back({2, 1});
+    t.firstTouches.push_back({PageNum(1), 0});
+    t.firstTouches.push_back({PageNum(2), 1});
 
     std::string path = ::testing::TempDir() + "roundtrip.trace";
     ASSERT_TRUE(t.save(path));
