@@ -60,6 +60,7 @@ BM_Ablation(benchmark::State &state, const std::string &workload)
 int
 main(int argc, char **argv)
 {
+    benchutil::initBench(&argc, argv);
     for (const auto &w : ablationWorkloads())
         benchmark::RegisterBenchmark(("Ablation/" + w).c_str(),
                                      BM_Ablation, w)

@@ -140,6 +140,7 @@ BENCHMARK(BM_KroneckerGeneration)->Arg(10)->Arg(14);
 int
 main(int argc, char **argv)
 {
+    benchutil::initBench(&argc, argv);
     int rc = benchutil::runBenchmarks(argc, argv);
 
     auto cfg = topology::SystemConfig::starnuma16();

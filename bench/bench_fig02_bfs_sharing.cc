@@ -50,6 +50,7 @@ BENCHMARK(BM_Fig2_BfsSharingProfile)
 int
 main(int argc, char **argv)
 {
+    benchutil::initBench(&argc, argv);
     int rc = benchutil::runBenchmarks(argc, argv);
     const auto &p = profile();
 

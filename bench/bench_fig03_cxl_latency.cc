@@ -36,6 +36,7 @@ BENCHMARK(BM_Fig3_CxlBreakdown)->Iterations(1);
 int
 main(int argc, char **argv)
 {
+    benchutil::initBench(&argc, argv);
     int rc = benchutil::runBenchmarks(argc, argv);
 
     for (auto cfg : {topology::SystemConfig::starnuma16(),

@@ -41,6 +41,7 @@ BENCHMARK(BM_Fig4_BlockTransferAverages)
 int
 main(int argc, char **argv)
 {
+    benchutil::initBench(&argc, argv);
     int rc = benchutil::runBenchmarks(argc, argv);
 
     topology::Topology topo(topology::SystemConfig::starnuma16());

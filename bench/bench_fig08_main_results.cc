@@ -54,6 +54,7 @@ BM_Fig8_Workload(benchmark::State &state,
 int
 main(int argc, char **argv)
 {
+    benchutil::initBench(&argc, argv);
     SimScale scale = benchScale();
     auto base = driver::SystemSetup::baseline();
     auto star = driver::SystemSetup::starnuma();
@@ -82,9 +83,15 @@ main(int argc, char **argv)
                 benchutil::speedupOverBaseline(w, star0, scale);
             t16.push_back(s16);
             t0.push_back(s0);
+            benchutil::recordResult("fig08.speedup_t16." + w, s16);
+            benchutil::recordResult("fig08.speedup_t0." + w, s0);
             t.addRow({w, TextTable::num(s16, 2) + "x",
                       TextTable::num(s0, 2) + "x"});
         }
+        benchutil::recordResult("fig08.speedup_t16.geomean",
+                                stats::geomean(t16));
+        benchutil::recordResult("fig08.speedup_t0.geomean",
+                                stats::geomean(t0));
         t.addRow({"geomean",
                   TextTable::num(stats::geomean(t16), 2) + "x",
                   TextTable::num(stats::geomean(t0), 2) + "x"});

@@ -49,6 +49,7 @@ BM_Fig9_Workload(benchmark::State &state,
 int
 main(int argc, char **argv)
 {
+    benchutil::initBench(&argc, argv);
     for (const auto &w : benchutil::benchWorkloads())
         benchmark::RegisterBenchmark(("Fig9/" + w).c_str(),
                                      BM_Fig9_Workload, w)

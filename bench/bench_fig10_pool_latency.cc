@@ -44,6 +44,7 @@ BM_Fig10_Workload(benchmark::State &state,
 int
 main(int argc, char **argv)
 {
+    benchutil::initBench(&argc, argv);
     for (const auto &w : benchutil::benchWorkloads())
         benchmark::RegisterBenchmark(("Fig10/" + w).c_str(),
                                      BM_Fig10_Workload, w)

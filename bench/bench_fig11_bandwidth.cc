@@ -53,6 +53,7 @@ BM_Fig11_Workload(benchmark::State &state,
 int
 main(int argc, char **argv)
 {
+    benchutil::initBench(&argc, argv);
     for (const auto &w : benchutil::benchWorkloads())
         benchmark::RegisterBenchmark(("Fig11/" + w).c_str(),
                                      BM_Fig11_Workload, w)

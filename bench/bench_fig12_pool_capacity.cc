@@ -41,6 +41,7 @@ BM_Fig12_Workload(benchmark::State &state,
 int
 main(int argc, char **argv)
 {
+    benchutil::initBench(&argc, argv);
     for (const auto &w : benchutil::benchWorkloads())
         benchmark::RegisterBenchmark(("Fig12/" + w).c_str(),
                                      BM_Fig12_Workload, w)

@@ -59,6 +59,7 @@ BENCHMARK(BM_Fig13_TcSharingProfile)
 int
 main(int argc, char **argv)
 {
+    benchutil::initBench(&argc, argv);
     int rc = benchutil::runBenchmarks(argc, argv);
     const auto &p = profileOf("tc");
 

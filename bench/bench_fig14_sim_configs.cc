@@ -65,6 +65,7 @@ BM_Fig14(benchmark::State &state, const std::string &workload,
 int
 main(int argc, char **argv)
 {
+    benchutil::initBench(&argc, argv);
     // Every (workload, system, simulation-config) pipeline is
     // independent — sweep them all across the pool up front.
     std::vector<driver::SweepJob> jobs;

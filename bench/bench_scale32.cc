@@ -67,6 +67,7 @@ BM_Scale32(benchmark::State &state, const std::string &workload)
 int
 main(int argc, char **argv)
 {
+    benchutil::initBench(&argc, argv);
     for (const auto &w : scaleWorkloads())
         benchmark::RegisterBenchmark(("Scale32/" + w).c_str(),
                                      BM_Scale32, w)

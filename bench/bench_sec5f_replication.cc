@@ -46,6 +46,7 @@ BM_Replication(benchmark::State &state,
 int
 main(int argc, char **argv)
 {
+    benchutil::initBench(&argc, argv);
     for (const auto &w : benchutil::benchWorkloads())
         benchmark::RegisterBenchmark(("Sec5F/" + w).c_str(),
                                      BM_Replication, w)

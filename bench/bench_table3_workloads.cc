@@ -47,6 +47,7 @@ BM_Table3_Workload(benchmark::State &state,
 int
 main(int argc, char **argv)
 {
+    benchutil::initBench(&argc, argv);
     SimScale scale = benchScale();
 
     // One sweep covers both halves of the table: the 16-socket
@@ -85,6 +86,9 @@ main(int argc, char **argv)
             cachedRun(w, driver::SystemSetup::baseline(), scale)
                 .metrics;
         const auto &single = cachedSingleSocket(w, scale);
+        benchutil::recordResult("table3.ipc_16s." + w, multi.ipc);
+        benchutil::recordResult("table3.ipc_1s." + w, single.ipc);
+        benchutil::recordResult("table3.mpki." + w, multi.llcMpki);
         std::string paper = "-";
         for (const auto &r : refs)
             if (w == r.w)

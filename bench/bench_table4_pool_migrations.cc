@@ -39,6 +39,7 @@ BM_Table4_Workload(benchmark::State &state,
 int
 main(int argc, char **argv)
 {
+    benchutil::initBench(&argc, argv);
     for (const auto &w : benchutil::benchWorkloads())
         benchmark::RegisterBenchmark(("Table4/" + w).c_str(),
                                      BM_Table4_Workload, w)

@@ -62,6 +62,29 @@ double speedupOverBaseline(const std::string &workload,
 std::vector<std::string> benchWorkloads();
 
 /**
+ * Record one scalar result under a dotted key (e.g.
+ * "fig08.speedup_t16.bfs"). Results are written as sorted-key JSON
+ * when a --bench-json=<path> flag (or STARNUMA_BENCH_JSON) is
+ * active; no-op otherwise.
+ */
+void recordResult(const std::string &key, double value);
+
+/**
+ * Consume the observability flags and start the wall-time clock.
+ * Call first thing in main(), before prewarm(), so stats/trace
+ * capture the sweep itself. Idempotent; runBenchmarks() calls it as
+ * a fallback. Flags handled (removed from argv):
+ *
+ *   --stats-out=<path>   write the deterministic stats artifact
+ *                        (same as STARNUMA_STATS_OUT)
+ *   --trace-out=<path>   write a Chrome trace of the run
+ *                        (same as STARNUMA_TRACE_OUT)
+ *   --bench-json=<path>  write recorded results + wall time as JSON
+ *                        (same as STARNUMA_BENCH_JSON)
+ */
+void initBench(int *argc, char **argv);
+
+/**
  * Register the standard `--benchmark_*` flags, run the registered
  * benchmarks, and return as main() would.
  */

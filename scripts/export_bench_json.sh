@@ -1,0 +1,42 @@
+#!/bin/sh
+# Export the headline bench results (Fig. 8 speedups, Table III
+# IPC/MPKI) as machine-readable JSON: runs both benches in
+# STARNUMA_BENCH_FAST mode with --bench-json and merges the two
+# parts into BENCH_results.json at the repository root.
+set -e
+cd "$(dirname "$0")/.."
+
+if [ ! -d build ]; then
+    cmake -B build -G Ninja
+fi
+cmake --build build --target bench_fig08_main_results \
+    bench_table3_workloads
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+STARNUMA_BENCH_FAST=1 ./build/bench/bench_fig08_main_results \
+    --bench-json="$tmp/fig08.json" >/dev/null
+STARNUMA_BENCH_FAST=1 ./build/bench/bench_table3_workloads \
+    --bench-json="$tmp/table3.json" >/dev/null
+
+python3 - "$tmp/fig08.json" "$tmp/table3.json" <<'EOF'
+import json
+import sys
+
+merged = {"schema": "starnuma-bench-v1", "fast_mode": True,
+          "results": {}, "wall_time_s": 0.0}
+for path in sys.argv[1:]:
+    with open(path) as fh:
+        part = json.load(fh)
+    assert part["schema"] == "starnuma-bench-v1", part["schema"]
+    merged["fast_mode"] = bool(part["fast_mode"])
+    merged["results"].update(part["results"])
+    merged["wall_time_s"] += part["wall_time_s"]
+merged["results"] = dict(sorted(merged["results"].items()))
+merged["wall_time_s"] = round(merged["wall_time_s"], 3)
+with open("BENCH_results.json", "w") as fh:
+    json.dump(merged, fh, indent=2)
+    fh.write("\n")
+print("BENCH_results.json: %d results" % len(merged["results"]))
+EOF

@@ -1,0 +1,21 @@
+// D5 fixture: raw stdio in library code must route through
+// sim/logging (diagnostics) or sim/table / sim/obs (output).
+
+#include <cstdio>
+#include <iostream>
+
+void
+bad_raw_stdio(const char *msg)
+{
+    std::printf("%s\n", msg);          // expect-lint: D5
+    fprintf(stderr, "note: %s\n", msg); // expect-lint: D5
+    std::cout << msg << "\n";          // expect-lint: D5
+}
+
+void
+fine_buffer_formatting(char *buf, unsigned long n, const char *msg)
+{
+    // snprintf/vsnprintf format into buffers, not onto streams;
+    // the \b in the rule's regex keeps them from matching.
+    std::snprintf(buf, n, "%s", msg);
+}

@@ -2,7 +2,7 @@
 # Run every static check (DESIGN.md §8) and exit nonzero on any
 # finding:
 #
-#   1. scripts/starnuma_lint.py      determinism & style rules D1-D4
+#   1. scripts/starnuma_lint.py      determinism & style rules D1-D5
 #      (plus its fixture self-test),
 #   2. the STARNUMA_WERROR build     -Wshadow -Wconversion
 #      -Wdouble-promotion as hard errors, and
@@ -16,7 +16,7 @@ cd "$(dirname "$0")/.."
 
 fail=0
 
-echo "=== starnuma_lint: determinism rules D1-D4 ==="
+echo "=== starnuma_lint: determinism rules D1-D5 ==="
 python3 scripts/starnuma_lint.py --self-test || fail=1
 python3 scripts/starnuma_lint.py || fail=1
 

@@ -1,0 +1,49 @@
+#!/bin/sh
+# Smoke-test the observability pipeline end to end: build, run one
+# traced fast-mode experiment sweep (the Fig. 8 bench), and assert
+# that both artifacts exist and parse —
+#   stats.json  deterministic stats snapshot (STARNUMA_STATS_OUT)
+#   trace.json  Chrome trace with phase duration events, migration
+#               instants, and link-utilization counters
+#               (STARNUMA_TRACE_OUT)
+# Artifacts land in ${STARNUMA_OBS_DIR:-obs_out}/.
+set -e
+cd "$(dirname "$0")/.."
+
+if [ ! -d build ]; then
+    cmake -B build -G Ninja
+fi
+cmake --build build --target bench_fig08_main_results
+
+out=${STARNUMA_OBS_DIR:-obs_out}
+mkdir -p "$out"
+
+STARNUMA_BENCH_FAST=1 \
+STARNUMA_STATS_OUT="$out/stats.json" \
+STARNUMA_TRACE_OUT="$out/trace.json" \
+    ./build/bench/bench_fig08_main_results >/dev/null
+
+python3 - "$out/stats.json" "$out/trace.json" <<'EOF'
+import json
+import sys
+
+stats_path, trace_path = sys.argv[1], sys.argv[2]
+stats = json.load(open(stats_path))
+assert stats, "stats snapshot is empty"
+
+trace = json.load(open(trace_path))["traceEvents"]
+for e in trace:
+    assert "ph" in e and "pid" in e and "name" in e, e
+phases = {e["ph"] for e in trace}
+assert "X" in phases, "no duration events"
+migrations = [e for e in trace
+              if e["ph"] == "i" and e["name"] == "migration"]
+assert migrations, "no migration instant events"
+link = [e for e in trace
+        if e["ph"] == "C" and e["name"].endswith(".linkUtil")]
+assert link, "no link-utilization counters"
+print("observability OK: %d stats, %d trace events "
+      "(%d migration instants, %d link-util samples)"
+      % (len(stats), len(trace), len(migrations), len(link)))
+EOF
+echo "artifacts in $out/"

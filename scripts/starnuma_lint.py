@@ -20,6 +20,13 @@ D3  Floating-point equality: a ``==``/``!=`` whose operand is a
     comparison (or ``EXPECT_DOUBLE_EQ``/``EXPECT_NEAR`` in tests).
 D4  Include-guard naming: headers under ``src/<dir>/<file>.hh`` must
     guard with ``STARNUMA_<DIR>_<FILE>_HH``.
+D5  Raw stdio in library code: ``printf``/``fprintf`` (and their
+    ``v`` variants) or ``std::cout`` anywhere under ``src/`` outside
+    ``src/sim/logging.cc``, ``src/sim/table.cc``, and ``src/sim/obs/``.
+    Diagnostics must route through ``sim/logging`` (whose single-write
+    path keeps multi-threaded output unscrambled) and structured
+    output through ``sim/table`` or the observability exporters.
+    ``snprintf``-style formatting into buffers is fine.
 
 Usage
 -----
@@ -56,6 +63,14 @@ D3_OPERATOR = re.compile(
 )
 D3_GTEST_OPEN = re.compile(r"\b(?:EXPECT|ASSERT)_(?:EQ|NE)\s*\(")
 D3_FLOAT = re.compile(r"(?<![\w.]){lit}".format(lit=FLOAT_LITERAL))
+
+# D5: word boundaries keep snprintf/vsnprintf from matching.
+D5_RAW_STDIO = re.compile(
+    r"\b(?:printf|fprintf|vprintf|vfprintf)\s*\("
+    r"|\bstd\s*::\s*cout\b"
+)
+D5_ALLOWED_FILES = ("src/sim/logging.cc", "src/sim/table.cc")
+D5_ALLOWED_DIRS = ("src/sim/obs/",)
 
 UNORDERED_DECL = re.compile(r"\bunordered_(?:map|set)\s*<")
 RANGE_FOR = re.compile(
@@ -274,6 +289,23 @@ def check_d4(rel, raw_lines, findings):
             % (guard[1], expected)))
 
 
+def check_d5(rel, code_lines, findings):
+    if not rel.startswith("src/"):
+        return
+    if rel in D5_ALLOWED_FILES:
+        return
+    if any(rel.startswith(d) for d in D5_ALLOWED_DIRS):
+        return
+    for idx, code in enumerate(code_lines):
+        m = D5_RAW_STDIO.search(code)
+        if m:
+            findings.append(Finding(
+                "D5", rel, idx + 1,
+                "raw stdio '%s' in library code; route through "
+                "sim/logging, sim/table, or sim/obs"
+                % m.group(0).strip().rstrip("(").strip()))
+
+
 def lint_files(paths):
     files = []
     for p in paths:
@@ -303,6 +335,7 @@ def lint_files(paths):
         check_d2(rel, code_lines, findings)
         check_d3(rel, code_lines, findings)
         check_d4(rel, raw_lines, findings)
+        check_d5(rel, code_lines, findings)
     return findings
 
 

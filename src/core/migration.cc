@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/obs/registry.hh"
+#include "sim/obs/trace_session.hh"
 
 namespace starnuma
 {
@@ -136,6 +138,31 @@ MigrationEngine::decidePhase(RegionTracker &tracker,
     std::vector<RegionMigration> plan;
     std::uint64_t moved_pages = 0;
 
+    // One instant trace event per Algorithm-1 decision; the branch
+    // label tells which arm fired. Guarded so an untraced run pays
+    // one relaxed load per phase.
+    obs::TraceSession &trace = obs::TraceSession::global();
+    const bool tracing = trace.enabled();
+    auto traceDecision = [&](const char *branch, RegionId region,
+                             const TrackerEntry &e, NodeId from,
+                             NodeId to) {
+        trace.instantNow(
+            "migration", "migration",
+            obs::TraceArgs()
+                .add("branch", std::string(branch))
+                .add("region", static_cast<std::uint64_t>(region))
+                .add("page",
+                     static_cast<std::uint64_t>(
+                         region * regionBytes / pageBytes))
+                .add("sharers", e.sharerCount())
+                .add("accesses",
+                     static_cast<std::uint64_t>(e.accesses))
+                .add("from", static_cast<int>(from))
+                .add("to", static_cast<int>(to))
+                .add("phase", phase)
+                .str());
+    };
+
     for (const auto &[region, e] : touched_sorted) {
         if (moved_pages >= cfg.migrationLimitPages)
             break;
@@ -161,6 +188,9 @@ MigrationEngine::decidePhase(RegionTracker &tracker,
             continue;
         if (pingPonging(region, phase)) {
             ++suppressed_;
+            if (tracing)
+                traceDecision("pingPongSuppressed", region, e, curr,
+                              best);
             continue;
         }
 
@@ -188,6 +218,9 @@ MigrationEngine::decidePhase(RegionTracker &tracker,
                     // next phase can find one.
                     lo = std::min(lo * 2, cfg.loThresholdMax);
                     room = false;
+                    if (tracing)
+                        traceDecision("noRoomBackoff", region, e,
+                                      curr, poolNode);
                     break;
                 }
                 NodeId victim_dest = randomSharer(phaseEntry(victim));
@@ -198,6 +231,10 @@ MigrationEngine::decidePhase(RegionTracker &tracker,
                 plan.push_back(
                     {victim, poolNode, victim_dest, true});
                 moved_pages += pagesPerRegion;
+                if (tracing)
+                    traceDecision("victimEviction", victim,
+                                  phaseEntry(victim), poolNode,
+                                  victim_dest);
             }
             if (!room)
                 continue;
@@ -214,6 +251,10 @@ MigrationEngine::decidePhase(RegionTracker &tracker,
         ++migrated_;
         plan.push_back({region, curr, best, false});
         moved_pages += pagesPerRegion;
+        if (tracing)
+            traceDecision(best == poolNode ? "toPool"
+                                           : "toSharer",
+                          region, e, curr, best);
     }
 
     // Adapt the HI threshold to keep the candidate count near the
@@ -235,6 +276,24 @@ MigrationEngine::poolMigrationFraction() const
 {
     return migrated_ ? static_cast<double>(toPool_) / static_cast<double>(migrated_)
                      : 0.0;
+}
+
+void
+MigrationEngine::registerStats(obs::Registry &r,
+                               const std::string &prefix) const
+{
+    r.addCounter(prefix + ".migratedRegions", &migrated_);
+    r.addCounter(prefix + ".migratedToPool", &toPool_);
+    r.addCounter(prefix + ".victimEvictions", &victims_);
+    r.addCounter(prefix + ".pingPongSuppressed", &suppressed_);
+    r.addGaugeFn(prefix + ".poolMigrationFraction",
+                 [this] { return poolMigrationFraction(); });
+    r.addCounterFn(prefix + ".poolRegions",
+                   [this] { return poolRegions(); });
+    r.addCounterFn(prefix + ".hiThreshold",
+                   [this] { return std::uint64_t(hi); });
+    r.addCounterFn(prefix + ".loThreshold",
+                   [this] { return std::uint64_t(lo); });
 }
 
 } // namespace core

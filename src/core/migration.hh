@@ -28,6 +28,12 @@
 
 namespace starnuma
 {
+
+namespace obs
+{
+class Registry;
+} // namespace obs
+
 namespace core
 {
 
@@ -122,6 +128,10 @@ class MigrationEngine
 
     /** Regions currently resident in the pool (engine's view). */
     std::size_t poolRegions() const { return poolResidents.size(); }
+
+    /** Register the cumulative counters and live thresholds. */
+    void registerStats(obs::Registry &r,
+                       const std::string &prefix) const;
 
   private:
     NodeId currentLocation(RegionId region,

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "sim/logging.hh"
+#include "sim/obs/registry.hh"
 
 namespace starnuma
 {
@@ -73,6 +74,18 @@ const
     std::uint64_t total = sent_ + saved_;
     return total ? static_cast<double>(saved_) / static_cast<double>(total)
                  : 0.0;
+}
+
+void
+TlbDirectory::registerStats(obs::Registry &r,
+                            const std::string &prefix) const
+{
+    r.addCounter(prefix + ".shootdownsSent", &sent_);
+    r.addCounter(prefix + ".shootdownsSaved", &saved_);
+    r.addGaugeFn(prefix + ".savingsRatio",
+                 [this] { return savingsRatio(); });
+    r.addCounterFn(prefix + ".trackedPages",
+                   [this] { return trackedPages(); });
 }
 
 } // namespace core

@@ -17,12 +17,19 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 
 #include "sim/types.hh"
 
 namespace starnuma
 {
+
+namespace obs
+{
+class Registry;
+} // namespace obs
+
 namespace core
 {
 
@@ -87,6 +94,10 @@ class TlbDirectory
      * broadcasting to all cores.
      */
     double savingsRatio() const;
+
+    /** Register shootdown counters and the savings ratio. */
+    void registerStats(obs::Registry &r,
+                       const std::string &prefix) const;
 
   private:
     int cores;

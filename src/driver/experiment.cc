@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/obs/obs.hh"
+#include "sim/obs/trace_session.hh"
 #include "workloads/workload.hh"
 
 namespace starnuma
@@ -53,6 +55,9 @@ workloadTrace(const std::string &name, const SimScale &scale)
         entry = slot; // entries are never evicted: references stay valid
     }
     std::call_once(entry->once, [&] {
+        obs::TraceSpan span(
+            "capture " + name, "capture",
+            obs::TraceArgs().add("workload", name).str());
         entry->trace = workloads::captureWorkload(name, scale);
         traceCaptures.fetch_add(1, std::memory_order_relaxed);
     });
@@ -69,24 +74,48 @@ ExperimentResult
 runExperiment(const std::string &workload, const SystemSetup &setup,
               const SimScale &scale)
 {
+    obs::TraceSpan exp_span(
+        workload + " / " + setup.name, "experiment",
+        obs::TraceArgs()
+            .add("workload", workload)
+            .add("setup", setup.name)
+            .str());
     const trace::WorkloadTrace &trace = workloadTrace(workload, scale);
 
     TraceSim trace_sim(setup, scale);
     ExperimentResult result;
-    result.placement = trace_sim.run(trace);
+    {
+        obs::TraceSpan span("trace-sim " + workload, "traceSim");
+        result.placement = trace_sim.run(trace);
+    }
 
     // §IV-A3 literally: one timing simulation per phase, fanned out
     // over the worker pool and merged in phase order.
     TimingOptions options;
     options.independentPhases = true;
     TimingSim timing(setup, scale, options);
-    result.metrics = timing.run(trace, result.placement);
+    {
+        obs::TraceSpan span("timing-sim " + workload, "timingSim");
+        result.metrics = timing.run(trace, result.placement);
+    }
+
+    obs::StatsSink &sink = obs::StatsSink::global();
+    if (sink.enabled()) {
+        std::string prefix = workload + "." + setup.name + ".";
+        sink.add(prefix + "summary.",
+                 metricsSnapshot(result.metrics));
+        sink.add(prefix + "timing.", timing.stats());
+        sink.add(prefix + "traceSim.", result.placement.stats);
+    }
     return result;
 }
 
 RunMetrics
 runSingleSocket(const std::string &workload, const SimScale &scale)
 {
+    obs::TraceSpan exp_span(
+        workload + " / single-socket", "experiment",
+        obs::TraceArgs().add("workload", workload).str());
     const trace::WorkloadTrace &trace = workloadTrace(workload, scale);
 
     SystemSetup setup = SystemSetup::baseline();
@@ -97,7 +126,15 @@ runSingleSocket(const std::string &workload, const SimScale &scale)
     options.singleSocketLocal = true;
     options.independentPhases = true;
     TimingSim timing(setup, scale, options);
-    return timing.run(trace, placement);
+    RunMetrics m = timing.run(trace, placement);
+
+    obs::StatsSink &sink = obs::StatsSink::global();
+    if (sink.enabled()) {
+        std::string prefix = workload + ".single-socket.";
+        sink.add(prefix + "summary.", metricsSnapshot(m));
+        sink.add(prefix + "timing.", timing.stats());
+    }
+    return m;
 }
 
 } // namespace driver

@@ -19,6 +19,39 @@ accessTypeName(AccessType t)
     }
 }
 
+obs::Snapshot
+metricsSnapshot(const RunMetrics &m)
+{
+    obs::Snapshot s;
+    s.setCount("instructions", m.instructions);
+    s.setCount("cycles", m.cycles.value());
+    s.set("ipc", m.ipc);
+    s.setCount("memAccesses", m.memAccesses);
+    s.setCount("llcHits", m.llcHits);
+    s.setCount("detailedMisses", m.detailedMisses);
+    s.set("llcMpki", m.llcMpki);
+    s.set("amatNs", m.amatNs());
+    s.set("unloadedAmatNs", m.unloadedAmatNs());
+    s.set("migrationStallCycles", m.migrationStallCycles);
+    for (int i = 0; i < accessTypes; ++i) {
+        std::string t = accessTypeName(static_cast<AccessType>(i));
+        s.set("mix." + t, m.mix[i]);
+        s.set("typeLatencyCycles." + t, m.typeLatency[i]);
+    }
+    s.set("upiUtilization", m.upiUtilization);
+    s.set("numalinkUtilization", m.numalinkUtilization);
+    s.set("cxlUtilization", m.cxlUtilization);
+    s.set("maxLinkUtilization", m.maxLinkUtilization);
+    s.set("meanLinkQueueNs", m.meanLinkQueueNs);
+    s.set("meanDramQueueNs", m.meanDramQueueNs);
+    s.setCount("migratedPages", m.migratedPages);
+    s.set("poolMigrationFraction", m.poolMigrationFraction);
+    s.setCount("coherenceTransactions", m.coherenceTransactions);
+    s.setCount("blockTransfers", m.blockTransfers);
+    s.setCount("shootdownPages", m.shootdownPages);
+    return s;
+}
+
 double
 unloadedLatencyNs(AccessType t)
 {

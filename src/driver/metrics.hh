@@ -12,6 +12,7 @@
 #include <array>
 #include <cstdint>
 
+#include "sim/obs/registry.hh"
 #include "sim/types.hh"
 
 namespace starnuma
@@ -100,7 +101,14 @@ struct RunMetrics
     {
         return baseline.ipc > 0 ? ipc / baseline.ipc : 0.0;
     }
+
 };
+
+/**
+ * The scalar summary of @p m as a deterministic snapshot (the
+ * "summary." subtree of a run's stats artifact).
+ */
+obs::Snapshot metricsSnapshot(const RunMetrics &m);
 
 } // namespace driver
 } // namespace starnuma

@@ -1,5 +1,6 @@
 #include "driver/sweep.hh"
 
+#include "sim/obs/trace_session.hh"
 #include "sim/parallel.hh"
 
 namespace starnuma
@@ -13,6 +14,14 @@ runSweep(const std::vector<SweepJob> &jobs)
     return ThreadPool::global().parallelMap<ExperimentResult>(
         jobs.size(), [&jobs](std::size_t i) {
             const SweepJob &job = jobs[i];
+            obs::TraceSpan span(
+                "sweep " + job.workload + " / " +
+                    (job.singleSocket ? "single-socket"
+                                      : job.setup.name),
+                "sweep",
+                obs::TraceArgs()
+                    .add("job", static_cast<std::uint64_t>(i))
+                    .str());
             if (job.singleSocket) {
                 ExperimentResult r;
                 r.metrics =

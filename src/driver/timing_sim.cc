@@ -1,8 +1,11 @@
 #include "driver/timing_sim.hh"
 
 #include <algorithm>
-#include <memory>
+#include <array>
+#include <cstdio>
 #include <deque>
+#include <memory>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -15,6 +18,8 @@
 #include "mem/page_map.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
+#include "sim/obs/obs.hh"
+#include "sim/obs/trace_session.hh"
 #include "sim/parallel.hh"
 #include "sim/stats.hh"
 #include "topology/topology.hh"
@@ -37,6 +42,15 @@ constexpr std::uint64_t metadataWritePeriod = 32;
 
 /** Page data is streamed in chunks of this many blocks. */
 constexpr int migrationChunkBlocks = 4;
+
+/** Zero-padded snapshot prefix of one phase ("phase03."). */
+std::string
+phasePrefix(int phase)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "phase%02d.", phase);
+    return buf;
+}
 
 /**
  * Hardware state that persists across the run's phases: caches and
@@ -78,6 +92,23 @@ struct MachineState
         migrating.clear();
     }
 
+    /** Register the machine's component stats (links, LLCs, DRAM,
+     *  directory) into @p r. */
+    void
+    registerStats(obs::Registry &r) const
+    {
+        topo.registerStats(r, "topo");
+        directory.registerStats(r, "directory");
+        int sockets = static_cast<int>(llcs.size());
+        for (int s = 0; s < sockets; ++s) {
+            std::string node = "socket" + std::to_string(s);
+            llcs[s].registerStats(r, node + ".llc");
+            mcs[s].registerStats(r, node + ".dram");
+        }
+        if (static_cast<int>(mcs.size()) > sockets)
+            mcs[sockets].registerStats(r, "pool.dram");
+    }
+
     topology::Topology topo;
     std::vector<mem::Cache> llcs;
     std::vector<mem::MemoryController> mcs;
@@ -108,6 +139,9 @@ class PhaseSim
 
     /** Fold this phase's post-warmup stats into @p m. */
     void accumulate(RunMetrics &m) const;
+
+    /** Register this phase's post-warmup stats into @p r. */
+    void registerStats(obs::Registry &r) const;
 
     /** Simulated cycles this phase covered. */
     Cycles horizon() const { return endCycle; }
@@ -148,6 +182,7 @@ class PhaseSim
                      std::uint64_t next_instr) const;
     void finishCore(CoreState &c);
     void pace();
+    void traceEpoch();
     bool allDetailedDone() const;
 
     // --- memory system (asynchronous request path) ---
@@ -183,11 +218,17 @@ class PhaseSim
     mem::PageMap &pages;
     std::unordered_map<PageNum, Cycles> &migrating;
     std::vector<CoreState> cores;
+    int phase_;
     double lightCpi;
     std::uint64_t lastPaceInstr = 0;
     Cycles lastPaceCycle;
     std::uint64_t missCount = 0;
     bool stop = false;
+
+    // Simulated-timeline counter-event state (trace only).
+    std::array<std::uint64_t, 3> lastLinkBusy{};
+    std::uint64_t lastDramRequests = 0;
+    Cycles lastTraceCycle;
 
     // Post-warmup statistics.
     std::uint64_t statInstructions = 0;
@@ -216,7 +257,8 @@ PhaseSim::PhaseSim(const SystemSetup &system_setup,
       topo(machine.topo),
       llcs(machine.llcs), mcs(machine.mcs),
       directory(machine.directory), pages(machine.pages),
-      migrating(machine.migrating), lightCpi(core.baseCpi * 2)
+      migrating(machine.migrating), phase_(phase),
+      lightCpi(core.baseCpi * 2)
 {
     machine.newPhase(checkpoint);
     statCoherence0 = directory.transactions();
@@ -736,8 +778,59 @@ PhaseSim::pace()
         lastPaceInstr = instr;
         lastPaceCycle = now;
     }
+    if (obs::TraceSession::global().enabled())
+        traceEpoch();
     if (!stop)
         q.scheduleAfter(pacerPeriod, [this] { pace(); });
+}
+
+void
+PhaseSim::traceEpoch()
+{
+    // Per-pacer-epoch counter events on the simulated timeline
+    // (pid 2, one tid per phase; ts = simulated time in us). Busy
+    // cycles are cumulative, so each epoch's utilization is the
+    // delta over the epoch.
+    obs::TraceSession &tr = obs::TraceSession::global();
+    Cycles now = q.now();
+    if (now <= lastTraceCycle)
+        return;
+    double dt =
+        static_cast<double>((now - lastTraceCycle).value());
+    using topology::Dir;
+    std::array<std::uint64_t, 3> busy{};
+    std::array<int, 3> cnt{};
+    for (const auto &link : topo.links()) {
+        int k = static_cast<int>(link.type());
+        for (Dir d : {Dir::Forward, Dir::Backward}) {
+            busy[k] += link.busyCycles(d).value();
+            ++cnt[k];
+        }
+    }
+    std::string tag = "phase" + std::to_string(phase_);
+    double ts_us = cyclesToNs(now) / 1000.0;
+    const char *names[3] = {"upi", "numalink", "cxl"};
+    obs::TraceArgs util;
+    for (int k = 0; k < 3; ++k) {
+        if (!cnt[k])
+            continue;
+        util.add(names[k],
+                 static_cast<double>(busy[k] - lastLinkBusy[k]) /
+                     (dt * cnt[k]));
+        lastLinkBusy[k] = busy[k];
+    }
+    tr.counterEvent(tag + ".linkUtil", ts_us, obs::tracePidSim,
+                    phase_, util.str());
+
+    std::uint64_t req = 0;
+    for (const auto &mc : mcs)
+        req += mc.requests();
+    obs::TraceArgs dram;
+    dram.add("requests", req - lastDramRequests);
+    tr.counterEvent(tag + ".dram", ts_us, obs::tracePidSim, phase_,
+                    dram.str());
+    lastDramRequests = req;
+    lastTraceCycle = now;
 }
 
 bool
@@ -820,6 +913,28 @@ PhaseSim::accumulate(RunMetrics &m) const
     m.migrationStallCycles += statMigStall.sum();
 }
 
+void
+PhaseSim::registerStats(obs::Registry &r) const
+{
+    r.addCounter("instructions", &statInstructions);
+    r.addCounterFn("cycles",
+                   [this] { return statCycles.value(); });
+    r.addCounter("llcHits", &statLlcHits);
+    r.addCounter("detailedMisses", &statDetailedMisses);
+    r.addCounter("shootdownPages", &statShootdownPages);
+    r.addCounter("coherenceTransactions", &statCoherence0);
+    r.addCounterFn("horizonCycles",
+                   [this] { return endCycle.value(); });
+    r.addMean("latencyCycles", &statLatency);
+    r.addMean("migrationStallCycles", &statMigStall);
+    for (int i = 0; i < accessTypes; ++i) {
+        std::string t =
+            accessTypeName(static_cast<AccessType>(i));
+        r.addCounter("mix." + t, &statMix[i]);
+        r.addMean("typeLatencyCycles." + t, &statTypeLatency[i]);
+    }
+}
+
 } // anonymous namespace
 
 TimingSim::TimingSim(const SystemSetup &system_setup,
@@ -835,6 +950,7 @@ TimingSim::run(const trace::WorkloadTrace &trace,
                const TraceSimResult &placement)
 {
     RunMetrics m;
+    stats_ = obs::Snapshot();
     Cycles total_horizon;
     std::unique_ptr<MachineState> shared_machine;
     std::unique_ptr<MachineState> last_machine;
@@ -858,11 +974,26 @@ TimingSim::run(const trace::WorkloadTrace &trace,
                 *machines.back()));
         }
         ThreadPool::global().parallelFor(
-            sims.size(),
-            [&sims](std::size_t i) { sims[i]->run(); });
-        for (auto &sim : sims) {
-            sim->accumulate(m);
-            total_horizon += sim->horizon();
+            sims.size(), [&sims](std::size_t i) {
+                obs::TraceSpan span(
+                    "phase " + std::to_string(i), "timing",
+                    obs::TraceArgs()
+                        .add("phase", static_cast<int>(i))
+                        .str());
+                sims[i]->run();
+            });
+        // Phase order is canonical here, so the merged snapshot is
+        // identical for any pool size.
+        const bool collect = obs::StatsSink::global().enabled();
+        for (std::size_t i = 0; i < sims.size(); ++i) {
+            sims[i]->accumulate(m);
+            total_horizon += sims[i]->horizon();
+            if (collect) {
+                obs::Registry reg;
+                sims[i]->registerStats(reg);
+                stats_.merge(phasePrefix(static_cast<int>(i)),
+                             reg.snapshot());
+            }
         }
         last_machine = std::move(machines.back());
     } else {
@@ -870,18 +1001,37 @@ TimingSim::run(const trace::WorkloadTrace &trace,
             setup, scale, core);
         shared_machine->replicated =
             placement.replication.replicated;
+        const bool collect = obs::StatsSink::global().enabled();
         for (int phase = 0; phase < scale.phases; ++phase) {
             PhaseSim sim(setup, scale, options, core, trace,
                          placement.checkpoints[phase], phase,
                          *shared_machine);
-            sim.run();
+            {
+                obs::TraceSpan span(
+                    "phase " + std::to_string(phase), "timing",
+                    obs::TraceArgs().add("phase", phase).str());
+                sim.run();
+            }
             sim.accumulate(m);
             total_horizon += sim.horizon();
+            if (collect) {
+                obs::Registry reg;
+                sim.registerStats(reg);
+                stats_.merge(phasePrefix(phase), reg.snapshot());
+            }
         }
     }
     MachineState &machine =
         options.independentPhases ? *last_machine
                                   : *shared_machine;
+
+    // Component-level stats of the surviving machine (independent
+    // phases: the last phase's machine; sequential: cumulative).
+    if (obs::StatsSink::global().enabled()) {
+        obs::Registry reg;
+        machine.registerStats(reg);
+        stats_.merge("machine.", reg.snapshot());
+    }
 
     // Interconnect diagnostics (final phase's occupancy over the
     // mean phase horizon).

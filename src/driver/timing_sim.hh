@@ -96,11 +96,21 @@ class TimingSim
     RunMetrics run(const trace::WorkloadTrace &trace,
                    const TraceSimResult &placement);
 
+    /**
+     * Detailed per-phase/per-component statistics (obs registry
+     * snapshots taken during the last run()). Populated only while
+     * the StatsSink is enabled; empty otherwise. Kept out of
+     * RunMetrics so that stays trivially copyable (tests compare
+     * runs by memcmp).
+     */
+    const obs::Snapshot &stats() const { return stats_; }
+
   private:
     const SystemSetup &setup;
     SimScale scale;
     TimingOptions options;
     CoreModel core;
+    obs::Snapshot stats_;
 };
 
 } // namespace driver

@@ -9,6 +9,7 @@
 #include "core/tlb_directory.hh"
 #include "mem/page_map.hh"
 #include "sim/logging.hh"
+#include "sim/obs/obs.hh"
 #include "sim/rng.hh"
 
 namespace starnuma
@@ -207,6 +208,13 @@ TraceSim::runDynamic(const trace::WorkloadTrace &trace)
         result.pagesInPool = pm.pagesAt(setup.sys.poolNode());
         result.tlbShootdownsSent = tlb_dir.shootdownsSent();
         result.tlbShootdownsSaved = tlb_dir.shootdownsSaved();
+    }
+    if (obs::StatsSink::global().enabled()) {
+        obs::Registry reg;
+        engine.registerStats(reg, "engine");
+        if (star)
+            tlb_dir.registerStats(reg, "tlbDirectory");
+        result.stats = reg.snapshot();
     }
     return result;
 }

@@ -20,6 +20,7 @@
 #include "core/perfect_policy.hh"
 #include "core/replication.hh"
 #include "driver/system_setup.hh"
+#include "sim/obs/registry.hh"
 #include "sim/scale.hh"
 #include "trace/trace.hh"
 
@@ -68,6 +69,13 @@ struct TraceSimResult
     // shootdown messages sent vs per-core IPIs avoided.
     std::uint64_t tlbShootdownsSent = 0;
     std::uint64_t tlbShootdownsSaved = 0;
+
+    /**
+     * Migration-engine / TLB-directory registry snapshot, taken at
+     * the end of the run while the obs::StatsSink is enabled; empty
+     * otherwise. Not serialized by save()/load().
+     */
+    obs::Snapshot stats;
 
     /**
      * Serialize the checkpoints (step B's output artifact, §IV-A2)

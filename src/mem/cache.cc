@@ -1,6 +1,7 @@
 #include "mem/cache.hh"
 
 #include "sim/logging.hh"
+#include "sim/obs/registry.hh"
 
 namespace starnuma
 {
@@ -125,6 +126,17 @@ Cache::reset()
     hits_ = 0;
     misses_ = 0;
     evictions_ = 0;
+}
+
+void
+Cache::registerStats(obs::Registry &r,
+                     const std::string &prefix) const
+{
+    r.addCounter(prefix + ".hits", &hits_);
+    r.addCounter(prefix + ".misses", &misses_);
+    r.addCounter(prefix + ".evictions", &evictions_);
+    r.addGaugeFn(prefix + ".hitRate",
+                 [this] { return hitRate(); });
 }
 
 } // namespace mem

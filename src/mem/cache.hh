@@ -13,10 +13,18 @@
 #include <cstdint>
 #include <vector>
 
+#include <string>
+
 #include "sim/types.hh"
 
 namespace starnuma
 {
+
+namespace obs
+{
+class Registry;
+} // namespace obs
+
 namespace mem
 {
 
@@ -80,6 +88,10 @@ class Cache
 
     std::size_t sets() const { return sets_.size() / ways; }
     int associativity() const { return ways; }
+
+    /** Register hit/miss/eviction counters and the hit rate. */
+    void registerStats(obs::Registry &r,
+                       const std::string &prefix) const;
 
   private:
     struct Line

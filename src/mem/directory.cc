@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "sim/logging.hh"
+#include "sim/obs/registry.hh"
 
 namespace starnuma
 {
@@ -101,6 +102,18 @@ Directory::reset()
     blockTransfers_ = 0;
     poolTransfers_ = 0;
     invalidations_ = 0;
+}
+
+void
+Directory::registerStats(obs::Registry &r,
+                         const std::string &prefix) const
+{
+    r.addCounter(prefix + ".transactions", &transactions_);
+    r.addCounter(prefix + ".blockTransfers", &blockTransfers_);
+    r.addCounter(prefix + ".poolTransfers", &poolTransfers_);
+    r.addCounter(prefix + ".invalidations", &invalidations_);
+    r.addCounterFn(prefix + ".trackedBlocks",
+                   [this] { return trackedBlocks(); });
 }
 
 } // namespace mem

@@ -17,12 +17,19 @@
 #define STARNUMA_MEM_DIRECTORY_HH
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 
 #include "sim/types.hh"
 
 namespace starnuma
 {
+
+namespace obs
+{
+class Registry;
+} // namespace obs
+
 namespace mem
 {
 
@@ -84,6 +91,10 @@ class Directory
     std::uint64_t blockTransfers() const { return blockTransfers_; }
     std::uint64_t poolTransfers() const { return poolTransfers_; }
     std::uint64_t invalidations() const { return invalidations_; }
+
+    /** Register the aggregate coherence counters. */
+    void registerStats(obs::Registry &r,
+                       const std::string &prefix) const;
 
     void reset();
 

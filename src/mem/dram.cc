@@ -1,8 +1,10 @@
 #include "mem/dram.hh"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "sim/logging.hh"
+#include "sim/obs/registry.hh"
 
 namespace starnuma
 {
@@ -118,6 +120,30 @@ MemoryController::meanQueueDelay() const
         n += c.requests();
     }
     return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+void
+DramChannel::registerStats(obs::Registry &r,
+                           const std::string &prefix) const
+{
+    r.addCounter(prefix + ".requests", &requests_);
+    r.addCounter(prefix + ".rowHits", &rowHits_);
+    r.addMean(prefix + ".queueDelay", &queueDelay);
+}
+
+void
+MemoryController::registerStats(obs::Registry &r,
+                                const std::string &prefix) const
+{
+    r.addCounterFn(prefix + ".requests",
+                   [this] { return requests(); });
+    r.addGaugeFn(prefix + ".meanQueueDelay",
+                 [this] { return meanQueueDelay(); });
+    for (std::size_t c = 0; c < chans.size(); ++c) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), ".ch%02zu", c);
+        chans[c].registerStats(r, prefix + buf);
+    }
 }
 
 } // namespace mem

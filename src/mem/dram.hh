@@ -18,6 +18,12 @@
 
 namespace starnuma
 {
+
+namespace obs
+{
+class Registry;
+} // namespace obs
+
 namespace mem
 {
 
@@ -64,6 +70,10 @@ class DramChannel
     std::uint64_t rowHits() const { return rowHits_; }
     double meanQueueDelay() const { return queueDelay.mean(); }
 
+    /** Register request/rowHit counters and the queue-delay mean. */
+    void registerStats(obs::Registry &r,
+                       const std::string &prefix) const;
+
   private:
     DramConfig cfg;
     Cycles bankBusy;
@@ -96,6 +106,10 @@ class MemoryController
     int channels() const { return static_cast<int>(chans.size()); }
     std::uint64_t requests() const;
     double meanQueueDelay() const;
+
+    /** Register per-channel stats under prefix.chNN. */
+    void registerStats(obs::Registry &r,
+                       const std::string &prefix) const;
 
   private:
     std::vector<DramChannel> chans;

@@ -3,18 +3,34 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "sim/parallel.hh"
+
 namespace starnuma
 {
 
 namespace
 {
 
+/**
+ * Format the whole report into one buffer and hand it to stderr as
+ * a single fprintf: interleaved level/message/newline writes from
+ * concurrent pool workers would otherwise shred each other's lines.
+ * Off-main-thread reports carry a [wN] worker prefix so a warning
+ * printed mid-sweep can be attributed to its task.
+ */
 void
 vreport(const char *level, const char *fmt, va_list args)
 {
-    std::fprintf(stderr, "%s: ", level);
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
+    char msg[4096];
+    std::vsnprintf(msg, sizeof(msg), fmt, args);
+    char line[4352];
+    int worker = ThreadPool::currentWorker();
+    if (worker >= 0)
+        std::snprintf(line, sizeof(line), "%s: [w%d] %s\n", level,
+                      worker, msg);
+    else
+        std::snprintf(line, sizeof(line), "%s: %s\n", level, msg);
+    std::fputs(line, stderr);
 }
 
 } // anonymous namespace
@@ -60,12 +76,15 @@ panic(const char *fmt, ...)
 void
 panicAssert(const char *cond, const char *fmt, ...)
 {
-    std::fprintf(stderr, "panic: assertion '%s' failed: ", cond);
+    char msg[4096];
     va_list args;
     va_start(args, fmt);
-    std::vfprintf(stderr, fmt, args);
+    std::vsnprintf(msg, sizeof(msg), fmt, args);
     va_end(args);
-    std::fprintf(stderr, "\n");
+    char line[4608];
+    std::snprintf(line, sizeof(line),
+                  "panic: assertion '%s' failed: %s\n", cond, msg);
+    std::fputs(line, stderr);
     std::abort();
 }
 

@@ -1,0 +1,126 @@
+#include "sim/obs/obs.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/obs/trace_session.hh"
+
+namespace starnuma
+{
+namespace obs
+{
+
+namespace
+{
+
+bool
+writeWholeFile(const std::string &path, const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    bool ok = std::fwrite(content.data(), 1, content.size(), f) ==
+              content.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+bool
+endsWith(const std::string &s, const char *suffix)
+{
+    std::string suf(suffix);
+    return s.size() >= suf.size() &&
+           s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+} // anonymous namespace
+
+StatsSink &
+StatsSink::global()
+{
+    // Leaky singleton: the atexit hook below must be able to run
+    // before static destruction would have torn the sink down.
+    static StatsSink *sink = [] {
+        auto *s = new StatsSink();
+        if (const char *path = std::getenv("STARNUMA_STATS_OUT")) {
+            if (path[0] != '\0') {
+                s->start(path);
+                std::atexit([] { StatsSink::global().write(); });
+            }
+        }
+        return s;
+    }();
+    return *sink;
+}
+
+void
+StatsSink::start(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    path_ = path;
+    merged = Snapshot();
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void
+StatsSink::stop()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    enabled_.store(false, std::memory_order_relaxed);
+    path_.clear();
+    merged = Snapshot();
+}
+
+void
+StatsSink::add(const std::string &prefix, const Snapshot &s)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mu);
+    merged.merge(prefix, s);
+}
+
+Snapshot
+StatsSink::collect() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return merged;
+}
+
+std::string
+StatsSink::collectJson() const
+{
+    return collect().json();
+}
+
+bool
+StatsSink::writeTo(const std::string &path) const
+{
+    Snapshot s = collect();
+    return writeWholeFile(path,
+                          endsWith(path, ".csv") ? s.csv()
+                                                 : s.json());
+}
+
+bool
+StatsSink::write() const
+{
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!enabled_.load(std::memory_order_relaxed) ||
+            path_.empty())
+            return true;
+        path = path_;
+    }
+    return writeTo(path);
+}
+
+bool
+hostProfilingEnabled()
+{
+    return StatsSink::global().enabled() ||
+           TraceSession::global().enabled();
+}
+
+} // namespace obs
+} // namespace starnuma

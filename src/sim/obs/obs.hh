@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Process-wide observability switchboard. Two independent channels,
+ * both off by default and zero-overhead when disabled (every
+ * emission site is guarded by one relaxed atomic load):
+ *
+ *  - StatsSink: the deterministic, simulation-domain channel.
+ *    Experiments contribute obs::Snapshot content under a
+ *    "<workload>.<setup>." prefix; the merged result is written as
+ *    sorted-key JSON (or CSV) that is byte-identical for any
+ *    STARNUMA_THREADS. Activated by STARNUMA_STATS_OUT=<path> or
+ *    programmatically (tests, bench --stats-out).
+ *
+ *  - TraceSession (sim/obs/trace_session.hh): the wall-clock host
+ *    channel (Chrome trace_event JSON). Wall-clock readings are
+ *    confined to that file and never feed simulation results.
+ *
+ * The split matters: thread-pool self-profiling is genuinely
+ * schedule-dependent, so it is exposed through a Registry built on
+ * demand (ThreadPool::registerStats) and lands in the trace file,
+ * never in the deterministic stats artifact.
+ */
+
+#ifndef STARNUMA_SIM_OBS_OBS_HH
+#define STARNUMA_SIM_OBS_OBS_HH
+
+#include <atomic>
+#include <mutex>
+#include <string>
+
+#include "sim/obs/registry.hh"
+
+namespace starnuma
+{
+namespace obs
+{
+
+/**
+ * Aggregates deterministic stats snapshots across every experiment
+ * of the process. Thread safe: concurrent sweep entries add their
+ * snapshots under distinct prefixes, and the merged map is sorted
+ * by key, so the written artifact is independent of completion
+ * order.
+ */
+class StatsSink
+{
+  public:
+    /**
+     * The process-wide sink. First use auto-starts it when
+     * STARNUMA_STATS_OUT is set (an atexit hook then writes the
+     * file on shutdown).
+     */
+    static StatsSink &global();
+
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Enable collection; write() targets @p path ("" = explicit
+     *  writeTo only). */
+    void start(const std::string &path);
+
+    /** Disable and drop everything collected so far. */
+    void stop();
+
+    /** Merge @p s in under @p prefix (no-op when disabled). */
+    void add(const std::string &prefix, const Snapshot &s);
+
+    /** Copy of everything collected so far. */
+    Snapshot collect() const;
+
+    /** The collected snapshot as sorted-key JSON. */
+    std::string collectJson() const;
+
+    /**
+     * Write the collected snapshot to @p path: JSON, or CSV when
+     * the path ends in ".csv". @return false on IO error.
+     */
+    bool writeTo(const std::string &path) const;
+
+    /** writeTo the configured path; true when nothing to do. */
+    bool write() const;
+
+  private:
+    StatsSink() = default;
+
+    mutable std::mutex mu;
+    std::atomic<bool> enabled_{false};
+    std::string path_;
+    Snapshot merged;
+};
+
+/**
+ * True when any host-side channel wants wall-clock readings
+ * (thread-pool busy-time clocks). One relaxed load per check.
+ */
+bool hostProfilingEnabled();
+
+} // namespace obs
+} // namespace starnuma
+
+#endif // STARNUMA_SIM_OBS_OBS_HH

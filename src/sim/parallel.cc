@@ -1,17 +1,44 @@
 #include "sim/parallel.hh"
 
+#include <chrono>
 #include <cstdlib>
+
+#include "sim/obs/obs.hh"
+#include "sim/obs/registry.hh"
 
 namespace starnuma
 {
+
+namespace
+{
+
+/** Pool-worker index of this thread, -1 elsewhere. */
+thread_local int tlsWorker = -1;
+
+std::uint64_t
+steadyNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // anonymous namespace
 
 ThreadPool::ThreadPool(int threads)
 {
     if (threads <= 0)
         threads = defaultThreads();
+    startNs = steadyNowNs();
+    slots = std::make_unique<ProfileSlot[]>(
+        static_cast<std::size_t>(threads) + 1);
     workers.reserve(threads);
     for (int i = 0; i < threads; ++i)
-        workers.emplace_back([this] { workerLoop(); });
+        workers.emplace_back([this, i] {
+            tlsWorker = i;
+            workerLoop();
+        });
 }
 
 ThreadPool::~ThreadPool()
@@ -54,6 +81,19 @@ ThreadPool::global()
     return *globalPool;
 }
 
+ThreadPool *
+ThreadPool::globalIfCreated()
+{
+    std::lock_guard<std::mutex> lock(globalPoolMu);
+    return globalPool.get();
+}
+
+int
+ThreadPool::currentWorker()
+{
+    return tlsWorker;
+}
+
 void
 ThreadPool::setGlobalThreads(int threads)
 {
@@ -76,13 +116,32 @@ ThreadPool::enqueue(const std::shared_ptr<Batch> &batch)
     {
         std::lock_guard<std::mutex> lock(mu);
         queue.push_back(batch);
+        ++enqueued;
+        if (queue.size() > peakQueue)
+            peakQueue = queue.size();
     }
     workCv.notify_all();
 }
 
 void
+ThreadPool::runTask(const std::shared_ptr<Batch> &batch,
+                    std::size_t i, ProfileSlot &slot)
+{
+    slot.tasks.fetch_add(1, std::memory_order_relaxed);
+    if (!obs::hostProfilingEnabled()) {
+        batch->fn(i);
+        return;
+    }
+    std::uint64_t t0 = steadyNowNs();
+    batch->fn(i);
+    slot.busyNs.fetch_add(steadyNowNs() - t0,
+                          std::memory_order_relaxed);
+}
+
+void
 ThreadPool::workerLoop()
 {
+    ProfileSlot &slot = slots[static_cast<std::size_t>(tlsWorker) + 1];
     std::unique_lock<std::mutex> lock(mu);
     for (;;) {
         workCv.wait(lock, [this] { return stopping || haveWork(); });
@@ -97,7 +156,7 @@ ThreadPool::workerLoop()
             queue.pop_front();
 
         lock.unlock();
-        batch->fn(i);
+        runTask(batch, i, slot);
         lock.lock();
 
         if (++batch->done == batch->n)
@@ -111,9 +170,15 @@ ThreadPool::parallelFor(std::size_t n,
 {
     if (n == 0)
         return;
+    // A worker claiming indices of a nested fan-out still bills its
+    // own slot; any other caller bills the shared caller slot 0.
+    ProfileSlot &slot = slots[static_cast<std::size_t>(tlsWorker) + 1];
     if (n == 1 || workers.empty()) {
+        auto batch = std::make_shared<Batch>();
+        batch->fn = fn;
+        batch->n = n;
         for (std::size_t i = 0; i < n; ++i)
-            fn(i);
+            runTask(batch, i, slot);
         return;
     }
 
@@ -132,7 +197,7 @@ ThreadPool::parallelFor(std::size_t n,
         if (batch->next < batch->n) {
             std::size_t i = batch->next++;
             lock.unlock();
-            batch->fn(i);
+            runTask(batch, i, slot);
             lock.lock();
             if (++batch->done == batch->n)
                 doneCv.notify_all();
@@ -141,6 +206,71 @@ ThreadPool::parallelFor(std::size_t n,
         } else {
             return;
         }
+    }
+}
+
+std::vector<ThreadPool::WorkerProfile>
+ThreadPool::profile() const
+{
+    std::vector<WorkerProfile> out(workers.size() + 1);
+    for (std::size_t s = 0; s < out.size(); ++s) {
+        out[s].tasks = slots[s].tasks.load(std::memory_order_relaxed);
+        out[s].busyNs =
+            slots[s].busyNs.load(std::memory_order_relaxed);
+    }
+    return out;
+}
+
+std::uint64_t
+ThreadPool::peakQueueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return peakQueue;
+}
+
+std::uint64_t
+ThreadPool::batchesEnqueued() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return enqueued;
+}
+
+std::uint64_t
+ThreadPool::upNs() const
+{
+    return steadyNowNs() - startNs;
+}
+
+void
+ThreadPool::registerStats(obs::Registry &r,
+                          const std::string &prefix) const
+{
+    r.addGaugeFn(prefix + ".size",
+                 [this] { return static_cast<double>(size()); });
+    r.addCounterFn(prefix + ".batches",
+                   [this] { return batchesEnqueued(); });
+    r.addCounterFn(prefix + ".queueDepth.peak",
+                   [this] { return peakQueueDepth(); });
+    r.addCounterFn(prefix + ".upNs", [this] { return upNs(); });
+    for (std::size_t s = 0; s < workers.size() + 1; ++s) {
+        std::string who =
+            s == 0 ? prefix + ".caller"
+                   : prefix + ".worker" + std::to_string(s - 1);
+        const ProfileSlot *slot = &slots[s];
+        r.addCounterFn(who + ".tasks", [slot] {
+            return slot->tasks.load(std::memory_order_relaxed);
+        });
+        r.addCounterFn(who + ".busyNs", [slot] {
+            return slot->busyNs.load(std::memory_order_relaxed);
+        });
+        r.addGaugeFn(who + ".busyFraction", [this, slot] {
+            double up = static_cast<double>(upNs());
+            if (up <= 0)
+                return 0.0;
+            return static_cast<double>(slot->busyNs.load(
+                       std::memory_order_relaxed)) /
+                   up;
+        });
     }
 }
 

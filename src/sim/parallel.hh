@@ -17,8 +17,10 @@
 #ifndef STARNUMA_SIM_PARALLEL_HH
 #define STARNUMA_SIM_PARALLEL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -31,6 +33,11 @@
 
 namespace starnuma
 {
+
+namespace obs
+{
+class Registry;
+} // namespace obs
 
 /** Work-queue executor over a fixed set of worker threads. */
 class ThreadPool
@@ -51,6 +58,20 @@ class ThreadPool
 
     /** The process-wide shared pool. */
     static ThreadPool &global();
+
+    /**
+     * The process-wide pool, or nullptr when no call has created it
+     * yet. Lets shutdown-time observers (the trace writer) read the
+     * pool profile without instantiating workers as a side effect.
+     */
+    static ThreadPool *globalIfCreated();
+
+    /**
+     * Pool-worker index of the calling thread: 0..size()-1 on a
+     * worker, -1 on any other thread (including callers executing
+     * their own parallelFor batch).
+     */
+    static int currentWorker();
 
     /**
      * Replace the process-wide pool with one of @p threads workers
@@ -99,6 +120,45 @@ class ThreadPool
         return fut;
     }
 
+    // --- self-profiling (DESIGN.md §9) ---
+
+    /** Accumulated execution profile of one claimant slot. */
+    struct WorkerProfile
+    {
+        std::uint64_t tasks = 0;  ///< indexed calls executed
+        std::uint64_t busyNs = 0; ///< wall time inside those calls
+                                  ///< (0 unless profiling enabled)
+    };
+
+    /**
+     * Per-claimant profile: index 0 aggregates every caller thread
+     * participating in its own batch, index w+1 is pool worker w.
+     * Task counts are always maintained (one relaxed increment per
+     * task); busy wall-time is only clocked while
+     * obs::hostProfilingEnabled() — the zero-overhead-when-disabled
+     * contract.
+     */
+    std::vector<WorkerProfile> profile() const;
+
+    /** Largest batch-queue length observed at enqueue time. */
+    std::uint64_t peakQueueDepth() const;
+
+    /** Batches handed to the queue since construction. */
+    std::uint64_t batchesEnqueued() const;
+
+    /** Wall nanoseconds since the pool was constructed. */
+    std::uint64_t upNs() const;
+
+    /**
+     * Register the pool profile under @p prefix: per-slot task
+     * counts, busy time, and busy fraction of the pool's uptime,
+     * plus queue-depth diagnostics. Host-domain (schedule-
+     * dependent) data: lands in the trace artifact, never in the
+     * deterministic stats file.
+     */
+    void registerStats(obs::Registry &r,
+                       const std::string &prefix) const;
+
   private:
     /** One indexed fan-out: claim next, run fn(next), count done. */
     struct Batch
@@ -109,18 +169,36 @@ class ThreadPool
         std::size_t done = 0; ///< finished calls (under mu)
     };
 
+    /** Lock-free profile slot (one writer thread per slot, any
+     *  number of profile() readers). */
+    struct ProfileSlot
+    {
+        std::atomic<std::uint64_t> tasks{0};
+        std::atomic<std::uint64_t> busyNs{0};
+    };
+
     void enqueue(const std::shared_ptr<Batch> &batch);
     void workerLoop();
+
+    /** Run fn(i), charging task count and (when profiling) busy
+     *  wall-time to @p slot. */
+    void runTask(const std::shared_ptr<Batch> &batch, std::size_t i,
+                 ProfileSlot &slot);
 
     /** Drop fully-claimed batches off the queue front (under mu). */
     bool haveWork();
 
-    std::mutex mu;
+    mutable std::mutex mu;
     std::condition_variable workCv; ///< workers: work available
     std::condition_variable doneCv; ///< waiters: some batch finished
     std::deque<std::shared_ptr<Batch>> queue;
     std::vector<std::thread> workers;
     bool stopping = false;
+
+    std::unique_ptr<ProfileSlot[]> slots; ///< [0]=callers, [w+1]=w
+    std::uint64_t peakQueue = 0;          ///< under mu
+    std::uint64_t enqueued = 0;           ///< under mu
+    std::uint64_t startNs = 0; ///< steady-clock pool birth time
 };
 
 } // namespace starnuma

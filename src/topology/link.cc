@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/obs/registry.hh"
+
 namespace starnuma
 {
 namespace topology
@@ -63,6 +65,21 @@ Link::utilization(Dir dir, Cycles horizon) const
         return 0.0;
     return static_cast<double>(side(dir).busy.value()) /
            static_cast<double>(horizon.value());
+}
+
+void
+Link::registerStats(obs::Registry &r,
+                    const std::string &prefix) const
+{
+    const char *dirName[2] = {"fwd", "bwd"};
+    for (int d = 0; d < 2; ++d) {
+        const Direction &s = dirs[d];
+        std::string p = prefix + "." + dirName[d];
+        r.addCounter(p + ".bytes", &s.bytes);
+        r.addCounterFn(p + ".busyCycles",
+                       [&s] { return s.busy.value(); });
+        r.addMean(p + ".queueDelay", &s.queueDelay);
+    }
 }
 
 } // namespace topology

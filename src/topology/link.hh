@@ -19,6 +19,12 @@
 
 namespace starnuma
 {
+
+namespace obs
+{
+class Registry;
+} // namespace obs
+
 namespace topology
 {
 
@@ -77,6 +83,10 @@ class Link
 
     /** Utilization of @p dir over [0, @p horizon]. */
     double utilization(Dir dir, Cycles horizon) const;
+
+    /** Register per-direction counters under prefix.{fwd,bwd}. */
+    void registerStats(obs::Registry &r,
+                       const std::string &prefix) const;
 
   private:
     struct Direction

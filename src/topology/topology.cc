@@ -3,6 +3,7 @@
 #include <string>
 
 #include "sim/logging.hh"
+#include "sim/obs/registry.hh"
 
 namespace starnuma
 {
@@ -217,6 +218,14 @@ Topology::bytesByType(LinkType type) const
                      l.bytesMoved(Dir::Backward);
     }
     return total;
+}
+
+void
+Topology::registerStats(obs::Registry &r,
+                        const std::string &prefix) const
+{
+    for (const Link &l : links_)
+        l.registerStats(r, prefix + ".link." + l.name());
 }
 
 } // namespace topology

@@ -113,6 +113,10 @@ class Topology
     /** Aggregate bytes moved over links of @p type. */
     std::uint64_t bytesByType(LinkType type) const;
 
+    /** Register every link's counters under prefix.link.<name>. */
+    void registerStats(obs::Registry &r,
+                       const std::string &prefix) const;
+
   private:
     int addLink(LinkType type, double gbps, double one_way_ns,
                 std::string name);
