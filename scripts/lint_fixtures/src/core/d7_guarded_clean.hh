@@ -1,0 +1,40 @@
+// Fixture: D7 clean — every mutable member next to the mutex is
+// either STARNUMA_GUARDED_BY-annotated, internally synchronized
+// (atomic, condition variable), const, or carries a justified
+// `// lint: lock-free` annotation. Nothing here may be flagged.
+
+#ifndef STARNUMA_CORE_D7_GUARDED_CLEAN_HH
+#define STARNUMA_CORE_D7_GUARDED_CLEAN_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/annotations.hh"
+
+namespace fixture
+{
+
+class GoodLockBox
+{
+  public:
+    void add(int v);
+    int total() const;
+
+  private:
+    mutable std::mutex mu;
+    int counter STARNUMA_GUARDED_BY(mu) = 0;
+    std::string label STARNUMA_GUARDED_BY(mu);
+    std::atomic<bool> open{true};
+    std::condition_variable drained;
+    // lint: lock-free — filled once before any thread can see the
+    // object, read-only afterwards.
+    std::vector<int> warm;
+    const int limit = 8;
+};
+
+} // namespace fixture
+
+#endif // STARNUMA_CORE_D7_GUARDED_CLEAN_HH

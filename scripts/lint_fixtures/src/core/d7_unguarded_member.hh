@@ -1,0 +1,31 @@
+// Fixture: D7 — unguarded mutable state next to a mutex. The class
+// declares a std::mutex member, so every other mutable member must
+// be STARNUMA_GUARDED_BY-annotated, internally synchronized, or
+// carry a justified `// lint: lock-free`; the marked members are
+// none of those and must be flagged.
+
+#ifndef STARNUMA_CORE_D7_UNGUARDED_MEMBER_HH
+#define STARNUMA_CORE_D7_UNGUARDED_MEMBER_HH
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fixture
+{
+
+class BadLockBox
+{
+  public:
+    void add(int v);
+    int total() const;
+
+  private:
+    mutable std::mutex mu;
+    int counter = 0;           // expect-lint: D7
+    std::vector<int> values;   // expect-lint: D7
+};
+
+} // namespace fixture
+
+#endif // STARNUMA_CORE_D7_UNGUARDED_MEMBER_HH

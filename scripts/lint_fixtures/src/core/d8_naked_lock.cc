@@ -1,0 +1,20 @@
+// Fixture: D8 — naked .lock()/.unlock() outside sim/parallel.*.
+// Both marked calls must be flagged: an early return or an
+// exception between them leaks the lock, which is exactly what the
+// RAII rule exists to prevent.
+
+#include <mutex>
+
+namespace fixture
+{
+
+int
+nakedLocking(std::mutex &mu, int &value)
+{
+    mu.lock(); // expect-lint: D8
+    int snapshot = ++value;
+    mu.unlock(); // expect-lint: D8
+    return snapshot;
+}
+
+} // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: D8 clean — RAII locking. lock_guard/scoped_lock (and
+// starnuma::MutexLock in the real tree) release on every exit path;
+// nothing here may be flagged.
+
+#include <mutex>
+
+namespace fixture
+{
+
+int
+raiiLocking(std::mutex &mu, std::mutex &other, int &value)
+{
+    {
+        std::lock_guard<std::mutex> guard(mu);
+        ++value;
+    }
+    std::scoped_lock both(mu, other);
+    return value;
+}
+
+} // namespace fixture

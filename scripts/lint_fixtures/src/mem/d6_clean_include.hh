@@ -1,0 +1,25 @@
+// Fixture: D6 clean — downward includes follow the layer DAG, and
+// a justified `// lint: layer-exception` annotation silences a
+// deliberate upward dependency. Nothing in this file may be
+// flagged.
+
+#ifndef STARNUMA_MEM_D6_CLEAN_INCLUDE_HH
+#define STARNUMA_MEM_D6_CLEAN_INCLUDE_HH
+
+#include "sim/types.hh"      // downward: fine
+#include "topology/link.hh"  // same-tier dependency mem is allowed
+// lint: layer-exception — fixture stand-in for a justified upward
+// dependency (see core/replication.hh for the real-tree example).
+#include "core/oracle.hh"
+
+namespace fixture
+{
+
+struct CleanUser
+{
+    int placeholder = 0;
+};
+
+} // namespace fixture
+
+#endif // STARNUMA_MEM_D6_CLEAN_INCLUDE_HH

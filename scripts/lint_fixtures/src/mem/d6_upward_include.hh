@@ -1,0 +1,22 @@
+// Fixture: D6 — upward include. mem/ sits below core/ in the layer
+// DAG (sim -> topology -> mem -> core -> trace/workloads ->
+// analytic -> driver), so including core/ from mem/ without a
+// justification must be flagged.
+
+#ifndef STARNUMA_MEM_D6_UPWARD_INCLUDE_HH
+#define STARNUMA_MEM_D6_UPWARD_INCLUDE_HH
+
+#include "core/migration.hh" // expect-lint: D6
+#include "sim/types.hh"      // downward: no finding
+
+namespace fixture
+{
+
+struct UpwardUser
+{
+    int placeholder = 0;
+};
+
+} // namespace fixture
+
+#endif // STARNUMA_MEM_D6_UPWARD_INCLUDE_HH

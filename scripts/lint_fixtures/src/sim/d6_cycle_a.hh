@@ -1,0 +1,21 @@
+// Fixture: D6 — include cycle. This header and d6_cycle_b.hh
+// include each other; the cycle must be reported exactly once,
+// anchored at this file (the lexicographically-first member of the
+// cycle). There is deliberately no escape hatch for cycles.
+
+#ifndef STARNUMA_SIM_D6_CYCLE_A_HH
+#define STARNUMA_SIM_D6_CYCLE_A_HH
+
+#include "sim/d6_cycle_b.hh" // expect-lint: D6
+
+namespace fixture
+{
+
+struct CycleA
+{
+    int placeholder = 0;
+};
+
+} // namespace fixture
+
+#endif // STARNUMA_SIM_D6_CYCLE_A_HH

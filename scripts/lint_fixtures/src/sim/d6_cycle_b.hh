@@ -1,0 +1,20 @@
+// Fixture: D6 — the other half of the include cycle with
+// d6_cycle_a.hh. The cycle is reported once, anchored at
+// d6_cycle_a.hh, so no finding is expected in this file.
+
+#ifndef STARNUMA_SIM_D6_CYCLE_B_HH
+#define STARNUMA_SIM_D6_CYCLE_B_HH
+
+#include "sim/d6_cycle_a.hh"
+
+namespace fixture
+{
+
+struct CycleB
+{
+    int placeholder = 0;
+};
+
+} // namespace fixture
+
+#endif // STARNUMA_SIM_D6_CYCLE_B_HH

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Single CI entry point: run the tier-1 test suite, the full static
+# gate (scripts/run_lint.sh: starnuma-lint D1-D8, WERROR builds,
+# thread-safety analysis and clang-tidy when LLVM is present), and
+# the sanitizer matrix (scripts/run_sanitizers.sh: TSan and
+# ASan+UBSan over ctest), then print a per-stage pass/fail summary.
+# Exit status is nonzero when any stage fails, so this script is the
+# one thing a CI job needs to invoke.
+#
+# Usage: scripts/run_ci.sh [stage ...]
+#   stages: tier1 lint sanitizers   (default: all three, in order)
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+stages=("$@")
+if [ ${#stages[@]} -eq 0 ]; then
+    stages=(tier1 lint sanitizers)
+fi
+
+names=()
+results=()
+times=()
+
+run_stage() {
+    local name=$1
+    shift
+    echo
+    echo "========================================================"
+    echo "=== CI stage: ${name}"
+    echo "========================================================"
+    local t0
+    t0=$(date +%s)
+    if "$@"; then
+        results+=("PASS")
+    else
+        results+=("FAIL")
+    fi
+    names+=("${name}")
+    times+=("$(( $(date +%s) - t0 ))")
+}
+
+tier1() {
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo &&
+        cmake --build build -j "$(nproc)" &&
+        ctest --test-dir build --output-on-failure -j "$(nproc)"
+}
+
+for stage in "${stages[@]}"; do
+    case "${stage}" in
+      tier1)      run_stage "tier1 ctest" tier1 ;;
+      lint)       run_stage "lint (D1-D8 + WERROR + TSA)" \
+                            scripts/run_lint.sh ;;
+      sanitizers) run_stage "sanitizers (TSan, ASan+UBSan)" \
+                            scripts/run_sanitizers.sh ;;
+      *)
+        echo "run_ci.sh: unknown stage '${stage}'" \
+             "(expected tier1|lint|sanitizers)" >&2
+        exit 2
+        ;;
+    esac
+done
+
+echo
+echo "=== CI summary ==="
+fail=0
+for i in "${!names[@]}"; do
+    printf '  %-32s %s  (%ss)\n' "${names[$i]}" "${results[$i]}" \
+           "${times[$i]}"
+    if [ "${results[$i]}" != "PASS" ]; then
+        fail=1
+    fi
+done
+if [ "${fail}" -ne 0 ]; then
+    echo "=== CI FAILED ==="
+    exit 1
+fi
+echo "=== CI clean ==="

@@ -1,13 +1,27 @@
 #!/usr/bin/env bash
-# Run every static check (DESIGN.md §8) and exit nonzero on any
+# Run every static check (DESIGN.md §8, §10) and exit nonzero on any
 # finding:
 #
 #   1. scripts/starnuma_lint.py      determinism & style rules D1-D5
-#      (plus its fixture self-test),
+#                                    plus layering/lock-discipline
+#                                    rules D6-D8 (and the fixture
+#                                    self-test),
 #   2. the STARNUMA_WERROR build     -Wshadow -Wconversion
-#      -Wdouble-promotion as hard errors, and
-#   3. clang-tidy (if installed)     bugprone-*/performance-* over
-#      the exported compile_commands.json.
+#                                    -Wdouble-promotion as hard
+#                                    errors (host compiler),
+#   3. Clang thread-safety build     the same WERROR configuration
+#      (if clang++ installed)        under clang++, which adds
+#                                    -Wthread-safety
+#                                    -Werror=thread-safety over the
+#                                    sim/annotations.hh capability
+#                                    annotations, and
+#   4. clang-tidy (if installed)     bugprone-*/performance-*/
+#                                    concurrency-* over the exported
+#                                    compile_commands.json.
+#
+# Each stage reports its wall time, and the lint prints per-rule
+# finding counts, so runtime regressions in the gate itself are
+# visible from the log.
 #
 # Usage: scripts/run_lint.sh
 set -euo pipefail
@@ -15,28 +29,63 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fail=0
+stage_t0=0
 
-echo "=== starnuma_lint: determinism rules D1-D5 ==="
-python3 scripts/starnuma_lint.py --self-test || fail=1
-python3 scripts/starnuma_lint.py || fail=1
+stage_begin() {
+    echo "=== $1 ==="
+    stage_t0=$(date +%s)
+}
 
-echo "=== STARNUMA_WERROR build ==="
+stage_end() {
+    local status=$1
+    local dt=$(( $(date +%s) - stage_t0 ))
+    echo "--- stage took ${dt}s ---"
+    if [ "${status}" -ne 0 ]; then
+        fail=1
+    fi
+}
+
+stage_begin "starnuma_lint: rules D1-D8 (self-test + tree)"
+status=0
+python3 scripts/starnuma_lint.py --self-test || status=1
+python3 scripts/starnuma_lint.py || status=1
+stage_end "${status}"
+
+stage_begin "STARNUMA_WERROR build"
+status=0
 cmake -B build-werror -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DSTARNUMA_WERROR=ON >/dev/null
-cmake --build build-werror -j "$(nproc)" || fail=1
+cmake --build build-werror -j "$(nproc)" || status=1
+stage_end "${status}"
+
+if command -v clang++ >/dev/null 2>&1; then
+    stage_begin "Clang thread-safety build (-Werror=thread-safety)"
+    status=0
+    cmake -B build-werror-clang -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_COMPILER=clang++ \
+        -DSTARNUMA_WERROR=ON >/dev/null
+    cmake --build build-werror-clang -j "$(nproc)" || status=1
+    stage_end "${status}"
+else
+    echo "=== clang++ not installed; skipping thread-safety build" \
+         "(gate is advisory on machines without LLVM) ==="
+fi
 
 if command -v clang-tidy >/dev/null 2>&1; then
-    echo "=== clang-tidy (bugprone-*, performance-*) ==="
-    # The WERROR tree just configured above exports the compilation
+    stage_begin "clang-tidy (bugprone-*, performance-*, concurrency-*)"
+    status=0
+    # The WERROR tree configured above exports the compilation
     # database; run over the library sources (tests inherit via
     # headers through HeaderFilterRegex).
     mapfile -t srcs < <(find src -name '*.cc' | sort)
     if command -v run-clang-tidy >/dev/null 2>&1; then
-        run-clang-tidy -quiet -p build-werror "${srcs[@]}" || fail=1
+        run-clang-tidy -quiet -p build-werror "${srcs[@]}" || status=1
     else
-        clang-tidy -quiet -p build-werror "${srcs[@]}" || fail=1
+        clang-tidy -quiet -p build-werror "${srcs[@]}" || status=1
     fi
+    stage_end "${status}"
 else
     echo "=== clang-tidy not installed; skipping (gate is" \
          "advisory on machines without LLVM) ==="

@@ -27,6 +27,30 @@ D5  Raw stdio in library code: ``printf``/``fprintf`` (and their
     path keeps multi-threaded output unscrambled) and structured
     output through ``sim/table`` or the observability exporters.
     ``snprintf``-style formatting into buffers is fine.
+D6  Layering (DESIGN.md §10): the ``src/`` include graph must follow
+    the declared layer DAG (``sim`` → ``topology`` → ``mem`` →
+    ``core`` → ``trace``/``workloads`` → ``analytic`` → ``driver``,
+    with each directory's allowed includes mirroring the library
+    dependencies in ``src/CMakeLists.txt``). An upward or
+    cross-layer include needs a justified
+    ``// lint: layer-exception`` annotation on the include line or
+    the line above. Include cycles are rejected unconditionally —
+    there is no escape hatch for a cycle.
+D7  Lock discipline: a class/struct that declares a
+    ``std::mutex``/``std::shared_mutex``/``Mutex`` member must have
+    every other mutable data member either
+    ``STARNUMA_GUARDED_BY``-annotated, of an internally-synchronized
+    type (``std::atomic``, ``condition_variable``/``CondVar``,
+    ``once_flag``), ``const``, or annotated ``// lint: lock-free``
+    with a reason (on the member's line or the comment block
+    directly above).
+D8  RAII locking: no naked ``.lock()``/``.unlock()`` calls under
+    ``src/`` — mutexes are taken via ``MutexLock`` (or
+    ``lock_guard``/``unique_lock``/``scoped_lock``). Exempt:
+    ``sim/parallel.*`` (the pool's claim loops interleave lock and
+    task execution; Clang's thread-safety analysis still checks
+    them) and ``sim/sync.hh`` (the wrapper that implements the RAII
+    layer).
 
 Usage
 -----
@@ -76,6 +100,46 @@ UNORDERED_DECL = re.compile(r"\bunordered_(?:map|set)\s*<")
 RANGE_FOR = re.compile(
     r"\bfor\s*\([^;()]*?:\s*&?\s*([A-Za-z_][\w.\->]*)\s*\)"
 )
+
+RULES = ("D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8")
+
+# D6: per-directory allowed include targets, mirroring the library
+# link graph in src/CMakeLists.txt. Keys and values are the
+# directories directly under src/.
+LAYER_ALLOWED = {
+    "sim": ("sim",),
+    "topology": ("topology", "sim"),
+    "mem": ("mem", "sim", "topology"),
+    "core": ("core", "sim", "mem", "topology"),
+    "trace": ("trace", "sim", "mem"),
+    "workloads": ("workloads", "sim", "trace", "mem"),
+    "analytic": ("analytic", "sim", "topology"),
+    "driver": ("driver", "sim", "topology", "mem", "core", "trace",
+               "workloads", "analytic"),
+}
+LAYER_EXCEPTION = "lint: layer-exception"
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+# D7 annotations and type classes.
+LOCK_FREE_ANNOTATION = "lint: lock-free"
+D7_MUTEX_TYPE = re.compile(
+    r"\b(?:std\s*::\s*)?"
+    r"(?:mutex|shared_mutex|recursive_mutex|Mutex|SharedMutex)\b")
+D7_SYNCHRONIZED_TYPE = re.compile(
+    r"\batomic(?:_\w+)?\b|\bcondition_variable(?:_any)?\b"
+    r"|\bCondVar\b|\bonce_flag\b")
+D7_SKIP_KEYWORDS = frozenset((
+    "using", "typedef", "friend", "template", "static_assert",
+    "struct", "class", "enum", "union", "operator", "public",
+    "private", "protected",
+))
+CLASS_HEAD = re.compile(r"(?<![\w:])(?:class|struct)\b[^;{}]*?{")
+
+# D8: member access followed by a bare lock()/unlock() call.
+D8_NAKED_LOCK = re.compile(
+    r"[\w)\]]\s*(?:\.|->)\s*(?:lock|unlock)\s*\(")
+D8_EXEMPT = ("src/sim/parallel.cc", "src/sim/parallel.hh",
+             "src/sim/sync.hh")
 
 
 class Finding:
@@ -306,6 +370,275 @@ def check_d5(rel, code_lines, findings):
                 % m.group(0).strip().rstrip("(").strip()))
 
 
+def src_layer(rel):
+    """Top-level src/ directory of @p rel, or None when the file is
+    outside the layered tree."""
+    parts = rel.split("/")
+    if len(parts) >= 3 and parts[0] == "src" and \
+            parts[1] in LAYER_ALLOWED:
+        return parts[1]
+    return None
+
+
+def has_annotation_above(raw_lines, idx, annotation):
+    """True when @p annotation appears on line @p idx or in the
+    contiguous comment block directly above it."""
+    if annotation in raw_lines[idx]:
+        return True
+    j = idx - 1
+    while j >= 0:
+        stripped = raw_lines[j].strip()
+        if not (stripped.startswith("//") or stripped.startswith("*")
+                or stripped.startswith("/*") or stripped == ""):
+            break
+        if annotation in raw_lines[j]:
+            return True
+        j -= 1
+    return False
+
+
+def file_includes(raw_lines):
+    """[(line_index, include_path)] of every quoted include."""
+    out = []
+    for idx, line in enumerate(raw_lines):
+        m = INCLUDE_RE.match(line)
+        if m:
+            out.append((idx, m.group(1)))
+    return out
+
+
+def check_d6_layering(rel, raw_lines, findings):
+    layer = src_layer(rel)
+    if layer is None:
+        return
+    for idx, inc in file_includes(raw_lines):
+        target = inc.split("/")[0]
+        if target not in LAYER_ALLOWED:
+            continue # not one of the layered directories
+        if target in LAYER_ALLOWED[layer]:
+            continue
+        if has_annotation_above(raw_lines, idx, LAYER_EXCEPTION):
+            continue
+        findings.append(Finding(
+            "D6", rel, idx + 1,
+            "layer violation: %s/ may not include %s/ (layer DAG "
+            "sim -> topology -> mem -> core -> trace/workloads -> "
+            "analytic -> driver); annotate '// %s' with a reason if "
+            "this dependency is deliberate"
+            % (layer, target, LAYER_EXCEPTION)))
+
+
+def check_d6_cycles(texts_by_rel, findings):
+    """Reject cycles in the src/ include graph. Edges are resolved
+    within the scanned file set only, so the rule works identically
+    on the real tree and on the self-test fixtures."""
+    nodes = {rel: incs for rel, incs in (
+        (rel, file_includes(raw))
+        for rel, (raw, _) in sorted(texts_by_rel.items())
+        if rel.startswith("src/")) }
+    edges = {}
+    for rel, incs in nodes.items():
+        edges[rel] = [("src/" + inc, idx) for idx, inc in incs
+                      if "src/" + inc in nodes]
+
+    # Iterative DFS cycle detection with a deterministic visit
+    # order; each cycle is reported once, anchored at its
+    # lexicographically-first member.
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {rel: WHITE for rel in nodes}
+    cycles = []
+
+    def dfs(root):
+        stack = [(root, iter(edges[root]))]
+        path = [root]
+        color[root] = GRAY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt, _ in it:
+                if color[nxt] == GRAY:
+                    cyc = tuple(path[path.index(nxt):])
+                    cycles.append(cyc)
+                elif color[nxt] == WHITE:
+                    color[nxt] = GRAY
+                    stack.append((nxt, iter(edges[nxt])))
+                    path.append(nxt)
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                path.pop()
+                stack.pop()
+
+    for rel in sorted(nodes):
+        if color[rel] == WHITE:
+            dfs(rel)
+
+    seen = set()
+    for cyc in cycles:
+        key = frozenset(cyc)
+        if key in seen:
+            continue
+        seen.add(key)
+        anchor = min(cyc)
+        members = set(cyc)
+        # Anchor the finding at the include line that enters the
+        # cycle from its first member.
+        line = 1
+        for nxt, idx in edges[anchor]:
+            if nxt in members:
+                line = idx + 1
+                break
+        order = list(cyc)
+        start = order.index(anchor)
+        chain = order[start:] + order[:start] + [anchor]
+        findings.append(Finding(
+            "D6", anchor, line,
+            "include cycle: %s" % " -> ".join(chain)))
+
+
+def iter_class_bodies(code):
+    """Yield (name, body_start, body_end) for every class/struct
+    definition in comment-stripped @p code. body_start/body_end are
+    the offsets just inside the braces."""
+    for m in CLASS_HEAD.finditer(code):
+        head = code[m.start():m.end() - 1]
+        if re.search(r"\benum\s*$", code[:m.start()]):
+            continue # enum class
+        # Drop the base-clause (single ':' only; '::' is a scope).
+        head_no_base = re.split(r":(?!:)", head)[0]
+        idents = re.findall(r"[A-Za-z_]\w*", head_no_base)
+        idents = [t for t in idents if t not in
+                  ("class", "struct", "final", "alignas")]
+        name = idents[-1] if idents else "<anonymous>"
+        depth = 1
+        i = m.end()
+        while i < len(code) and depth:
+            if code[i] == "{":
+                depth += 1
+            elif code[i] == "}":
+                depth -= 1
+            i += 1
+        yield name, m.end(), i - 1
+
+
+def class_members(code, body_start, body_end):
+    """Data members of one class body: [(stmt_text, start_offset)].
+    Statements inside nested braces (methods, nested types,
+    brace-initializers) are skipped or folded per D7's tokenizer
+    rules; a statement whose brace block is followed by anything but
+    ';' is a function definition and is dropped."""
+    out = []
+    buf = []
+    buf_start = None
+    closed_block = False
+    depth = 0
+    i = body_start
+    while i < body_end:
+        c = code[i]
+        if c == "{":
+            depth += 1
+            i += 1
+            continue
+        if c == "}":
+            depth -= 1
+            if depth == 0:
+                closed_block = True
+            i += 1
+            continue
+        if depth > 0:
+            i += 1
+            continue
+        if c == ";":
+            if buf_start is not None:
+                out.append(("".join(buf), buf_start))
+            buf, buf_start, closed_block = [], None, False
+            i += 1
+            continue
+        if closed_block and not c.isspace():
+            # Non-';' after a closed brace block: the block was a
+            # function body, not a brace-initializer.
+            buf, buf_start, closed_block = [], None, False
+        if buf_start is None and not c.isspace():
+            buf_start = i
+        buf.append(c)
+        i += 1
+    return out
+
+
+def classify_member(stmt):
+    """One of 'skip', 'annotated', 'function', 'mutex',
+    'synchronized', 'immutable', or 'plain' for a class-body
+    statement."""
+    s = re.sub(r"^(?:\s*(?:public|private|protected)\s*:)+", "",
+               stmt).strip()
+    if not s:
+        return "skip"
+    first = re.match(r"[A-Za-z_]\w*", s)
+    if not first or first.group(0) in D7_SKIP_KEYWORDS:
+        return "skip"
+    if "STARNUMA_GUARDED_BY" in s or "STARNUMA_PT_GUARDED_BY" in s:
+        return "annotated"
+    if "(" in s:
+        return "function"
+    decl = s.split("=")[0]
+    if D7_MUTEX_TYPE.search(decl):
+        return "mutex"
+    if D7_SYNCHRONIZED_TYPE.search(decl):
+        return "synchronized"
+    if re.search(r"\b(?:const|constexpr)\b", decl):
+        return "immutable"
+    return "plain"
+
+
+def check_d7(rel, raw_lines, code_text, findings):
+    if not rel.startswith("src/"):
+        return
+    for name, body_start, body_end in iter_class_bodies(code_text):
+        members = class_members(code_text, body_start, body_end)
+        kinds = [(stmt, off, classify_member(stmt))
+                 for stmt, off in members]
+        if not any(k == "mutex" for _, _, k in kinds):
+            continue
+        for stmt, off, kind in kinds:
+            if kind != "plain":
+                continue
+            line = code_text.count("\n", 0, off) + 1
+            # The statement may span lines; the annotation counts on
+            # any of them or in the comment block above the first.
+            stmt_lines = stmt.count("\n")
+            tail = any(
+                LOCK_FREE_ANNOTATION in raw_lines[j]
+                for j in range(line - 1,
+                               min(len(raw_lines),
+                                   line + stmt_lines + 1)))
+            if tail or has_annotation_above(raw_lines, line - 1,
+                                            LOCK_FREE_ANNOTATION):
+                continue
+            decl = re.sub(r"\[[^\]]*\]", "", stmt.split("=")[0])
+            member = re.findall(r"[A-Za-z_]\w*", decl)
+            member = member[-1] if member else "<member>"
+            findings.append(Finding(
+                "D7", rel, line,
+                "class %s has a mutex member, but member '%s' is "
+                "neither STARNUMA_GUARDED_BY-annotated, atomic, nor "
+                "'// %s' (with a reason)"
+                % (name, member, LOCK_FREE_ANNOTATION)))
+
+
+def check_d8(rel, code_lines, findings):
+    if not rel.startswith("src/") or rel in D8_EXEMPT:
+        return
+    for idx, code in enumerate(code_lines):
+        m = D8_NAKED_LOCK.search(code)
+        if m:
+            findings.append(Finding(
+                "D8", rel, idx + 1,
+                "naked %s call; take mutexes via RAII "
+                "(MutexLock / lock_guard / scoped_lock)"
+                % m.group(0).strip()))
+
+
 def lint_files(paths):
     files = []
     for p in paths:
@@ -323,19 +656,27 @@ def lint_files(paths):
         with open(f, encoding="utf-8", errors="replace") as fh:
             raw = fh.read()
         code = strip_comments_and_strings(raw)
-        texts[f] = (raw.splitlines(), code.splitlines())
+        texts[f] = (raw.splitlines(), code.splitlines(), code)
         unordered_names |= collect_unordered_names(code)
 
     findings = []
     for f in files:
         rel = relpath(f)
-        raw_lines, code_lines = texts[f]
+        raw_lines, code_lines, code_text = texts[f]
         check_d1(rel, raw_lines, code_lines, unordered_names,
                  findings)
         check_d2(rel, code_lines, findings)
         check_d3(rel, code_lines, findings)
         check_d4(rel, raw_lines, findings)
         check_d5(rel, code_lines, findings)
+        check_d6_layering(rel, raw_lines, findings)
+        check_d7(rel, raw_lines, code_text, findings)
+        check_d8(rel, code_lines, findings)
+
+    texts_by_rel = {
+        relpath(f): (t[0], t[1]) for f, t in texts.items()
+    }
+    check_d6_cycles(texts_by_rel, findings)
     return findings
 
 
@@ -396,6 +737,12 @@ def main(argv):
     findings = lint_files(paths)
     for f in findings:
         print(f)
+    # Per-rule counts keep regressions visible even when the run is
+    # clean (scripts/run_lint.sh surfaces them next to wall times).
+    print("starnuma-lint: rule counts: " +
+          " ".join("%s=%d" % (r, sum(1 for f in findings
+                                     if f.rule == r))
+                   for r in RULES))
     if findings:
         print("starnuma-lint: %d finding(s)" % len(findings))
         return 1

@@ -20,6 +20,12 @@
 #include <cstdint>
 #include <unordered_set>
 
+// lint: layer-exception — idealized replication (§V-F) is an
+// *offline* analysis over a whole captured run: candidate selection
+// needs the complete WorkloadTrace (per-page sharers and the
+// written-page set), so core's replication planner legitimately
+// consumes trace's container type. Mirrored in src/CMakeLists.txt
+// (starnuma_core links starnuma_trace).
 #include "trace/trace.hh"
 
 namespace starnuma

@@ -6,7 +6,9 @@
 #include <mutex>
 #include <utility>
 
+#include "sim/annotations.hh"
 #include "sim/logging.hh"
+#include "sim/sync.hh"
 #include "sim/obs/obs.hh"
 #include "sim/obs/trace_session.hh"
 #include "workloads/workload.hh"
@@ -31,9 +33,16 @@ struct TraceEntry
     trace::WorkloadTrace trace;
 };
 
-std::mutex traceMemoMu;
+Mutex traceMemoMu;
 std::map<std::pair<std::string, std::string>,
-         std::shared_ptr<TraceEntry>> traceMemo;
+         std::shared_ptr<TraceEntry>> traceMemo
+    STARNUMA_GUARDED_BY(traceMemoMu);
+// Relaxed is load-bearing and sufficient: traceCaptures is a pure
+// event counter — nothing is published through it, and the captured
+// trace itself is handed to waiters by call_once's own
+// synchronization. Readers (tests asserting one capture per key)
+// observe it only after joining the work that incremented it, so a
+// relaxed monotone count is exact by then.
 std::atomic<std::uint64_t> traceCaptures{0};
 
 } // anonymous namespace
@@ -48,7 +57,7 @@ workloadTrace(const std::string &name, const SimScale &scale)
 
     std::shared_ptr<TraceEntry> entry;
     {
-        std::lock_guard<std::mutex> lock(traceMemoMu);
+        MutexLock lock(traceMemoMu);
         auto &slot = traceMemo[{name, scale_key}];
         if (!slot)
             slot = std::make_shared<TraceEntry>();

@@ -8,6 +8,12 @@
  * (workload, scale) no matter how many entries share it, and
  * results return in the caller's entry order — so a sweep's output
  * is bitwise-identical to running the same entries serially.
+ *
+ * Locking contract (DESIGN.md §10): this layer owns no mutex. All
+ * cross-thread state lives behind ThreadPool's annotated Mutex
+ * (sim/parallel.hh) and experiment.cc's trace-memo Mutex; runSweep
+ * writes each out[i] from exactly one pool task and reads them only
+ * after the parallelFor barrier, which is the happens-before edge.
  */
 
 #ifndef STARNUMA_DRIVER_SWEEP_HH

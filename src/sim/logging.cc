@@ -17,6 +17,13 @@ namespace
  * concurrent pool workers would otherwise shred each other's lines.
  * Off-main-thread reports carry a [wN] worker prefix so a warning
  * printed mid-sweep can be attributed to its task.
+ *
+ * Deliberately lock-free (DESIGN.md §10): a mutex here would order
+ * log lines by lock-acquisition schedule — nondeterministic and
+ * able to deadlock from a panic inside a locked region. The
+ * single-write design needs no guarded state, so there is nothing
+ * for D7 to check; atomicity comes from POSIX stderr stream
+ * locking on the one fputs call.
  */
 void
 vreport(const char *level, const char *fmt, va_list args)

@@ -55,7 +55,7 @@ StatsSink::global()
 void
 StatsSink::start(const std::string &path)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     path_ = path;
     merged = Snapshot();
     enabled_.store(true, std::memory_order_relaxed);
@@ -64,7 +64,7 @@ StatsSink::start(const std::string &path)
 void
 StatsSink::stop()
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     enabled_.store(false, std::memory_order_relaxed);
     path_.clear();
     merged = Snapshot();
@@ -75,14 +75,19 @@ StatsSink::add(const std::string &prefix, const Snapshot &s)
 {
     if (!enabled())
         return;
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
+    // Double-check under the lock: a concurrent stop() may have
+    // cleared the sink between the relaxed gate above and here, and
+    // a snapshot must never resurrect a stopped sink.
+    if (!enabled_.load(std::memory_order_relaxed))
+        return;
     merged.merge(prefix, s);
 }
 
 Snapshot
 StatsSink::collect() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     return merged;
 }
 
@@ -106,7 +111,7 @@ StatsSink::write() const
 {
     std::string path;
     {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         if (!enabled_.load(std::memory_order_relaxed) ||
             path_.empty())
             return true;

@@ -25,10 +25,11 @@
 #define STARNUMA_SIM_OBS_OBS_HH
 
 #include <atomic>
-#include <mutex>
 #include <string>
 
+#include "sim/annotations.hh"
 #include "sim/obs/registry.hh"
+#include "sim/sync.hh"
 
 namespace starnuma
 {
@@ -86,10 +87,19 @@ class StatsSink
   private:
     StatsSink() = default;
 
-    mutable std::mutex mu;
+    mutable Mutex mu;
+    // Relaxed is load-bearing here: enabled_ is only the emission
+    // gate ("is anyone collecting?"), checked once per would-be
+    // emission — the zero-overhead-when-disabled contract. It never
+    // publishes data; every access to the data it gates (path_,
+    // merged) happens under mu, whose acquire/release provides the
+    // ordering. A start()/stop() racing an add() can at worst admit
+    // or drop that one snapshot, which toggling mid-run means
+    // anyway; add() re-checks under the lock so a snapshot never
+    // lands in a sink that stop() already cleared.
     std::atomic<bool> enabled_{false};
-    std::string path_;
-    Snapshot merged;
+    std::string path_ STARNUMA_GUARDED_BY(mu);
+    Snapshot merged STARNUMA_GUARDED_BY(mu);
 };
 
 /**

@@ -111,10 +111,10 @@ TraceSession::global()
 void
 TraceSession::start(const std::string &path)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     path_ = path;
     events.clear();
-    epochNs = steadyNowNs();
+    epochNs.store(steadyNowNs(), std::memory_order_relaxed);
     enabled_.store(true, std::memory_order_relaxed);
     events.push_back(
         "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
@@ -127,7 +127,7 @@ TraceSession::start(const std::string &path)
 void
 TraceSession::stop()
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     enabled_.store(false, std::memory_order_relaxed);
     path_.clear();
     events.clear();
@@ -136,7 +136,10 @@ TraceSession::stop()
 double
 TraceSession::nowUs() const
 {
-    return static_cast<double>(steadyNowNs() - epochNs) / 1000.0;
+    return static_cast<double>(
+               steadyNowNs() -
+               epochNs.load(std::memory_order_relaxed)) /
+           1000.0;
 }
 
 int
@@ -148,7 +151,7 @@ TraceSession::hostTid()
 void
 TraceSession::push(std::string event)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     if (!enabled_.load(std::memory_order_relaxed))
         return;
     events.push_back(std::move(event));
@@ -226,7 +229,7 @@ TraceSession::nameThread(int pid, int tid, const std::string &name)
 std::size_t
 TraceSession::eventCount() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     return events.size();
 }
 
@@ -267,7 +270,7 @@ TraceSession::writeTo(const std::string &path)
     appendPoolProfile();
     std::string out = "{\"traceEvents\":[\n";
     {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         for (std::size_t i = 0; i < events.size(); ++i) {
             out += events[i];
             out += i + 1 < events.size() ? ",\n" : "\n";
@@ -287,7 +290,7 @@ TraceSession::write()
 {
     std::string path;
     {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         if (!enabled_.load(std::memory_order_relaxed) ||
             path_.empty())
             return true;

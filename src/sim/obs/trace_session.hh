@@ -26,9 +26,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "sim/annotations.hh"
+#include "sim/sync.hh"
 
 namespace starnuma
 {
@@ -133,11 +135,18 @@ class TraceSession
     void push(std::string event);
     void appendPoolProfile();
 
-    mutable std::mutex mu;
+    mutable Mutex mu;
+    // Same relaxed-gate pattern as StatsSink::enabled_ (obs.hh):
+    // one relaxed load per would-be event; the buffer and path are
+    // protected by mu, and push() re-checks under the lock.
     std::atomic<bool> enabled_{false};
-    std::string path_;
-    std::uint64_t epochNs = 0;
-    std::vector<std::string> events;
+    std::string path_ STARNUMA_GUARDED_BY(mu);
+    // Written by start() and read lock-free by every nowUs() call;
+    // relaxed is fine because timestamps are host-domain
+    // diagnostics: a racing start() can only skew the very first
+    // spans' timestamps, never simulation results.
+    std::atomic<std::uint64_t> epochNs{0};
+    std::vector<std::string> events STARNUMA_GUARDED_BY(mu);
 };
 
 /**

@@ -18,18 +18,19 @@
 #define STARNUMA_SIM_PARALLEL_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "sim/annotations.hh"
+#include "sim/sync.hh"
 
 namespace starnuma
 {
@@ -169,8 +170,14 @@ class ThreadPool
         std::size_t done = 0; ///< finished calls (under mu)
     };
 
-    /** Lock-free profile slot (one writer thread per slot, any
-     *  number of profile() readers). */
+    /**
+     * Lock-free profile slot (one writer thread per slot, any
+     * number of profile() readers). Relaxed ordering is sufficient
+     * and load-bearing for the zero-overhead contract: each atomic
+     * is an independent monotone counter, nothing is published
+     * *through* it, and readers only want an eventually-consistent
+     * snapshot for diagnostics.
+     */
     struct ProfileSlot
     {
         std::atomic<std::uint64_t> tasks{0};
@@ -185,19 +192,26 @@ class ThreadPool
     void runTask(const std::shared_ptr<Batch> &batch, std::size_t i,
                  ProfileSlot &slot);
 
-    /** Drop fully-claimed batches off the queue front (under mu). */
-    bool haveWork();
+    /** Drop fully-claimed batches off the queue front. */
+    bool haveWork() STARNUMA_REQUIRES(mu);
 
-    mutable std::mutex mu;
-    std::condition_variable workCv; ///< workers: work available
-    std::condition_variable doneCv; ///< waiters: some batch finished
-    std::deque<std::shared_ptr<Batch>> queue;
+    mutable Mutex mu;
+    CondVar workCv; ///< workers: work available (waits on mu)
+    CondVar doneCv; ///< waiters: some batch finished (waits on mu)
+    std::deque<std::shared_ptr<Batch>> queue STARNUMA_GUARDED_BY(mu);
+    // lint: lock-free — written only by the constructor (before any
+    // worker can observe it) and joined by the destructor after
+    // every worker has exited; immutable in between.
     std::vector<std::thread> workers;
-    bool stopping = false;
+    bool stopping STARNUMA_GUARDED_BY(mu) = false;
 
+    // lint: lock-free — the pointer is set once in the constructor;
+    // the ProfileSlot atomics inside carry their own (relaxed)
+    // synchronization.
     std::unique_ptr<ProfileSlot[]> slots; ///< [0]=callers, [w+1]=w
-    std::uint64_t peakQueue = 0;          ///< under mu
-    std::uint64_t enqueued = 0;           ///< under mu
+    std::uint64_t peakQueue STARNUMA_GUARDED_BY(mu) = 0;
+    std::uint64_t enqueued STARNUMA_GUARDED_BY(mu) = 0;
+    // lint: lock-free — constant after the constructor returns.
     std::uint64_t startNs = 0; ///< steady-clock pool birth time
 };
 
