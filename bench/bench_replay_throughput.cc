@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Step-B replay throughput: simulated instructions per wall-clock
+ * second through the trace simulator (driver/trace_sim.hh), for the
+ * StarNUMA and baseline page-placement machineries. This is the
+ * metric that caps how many scenarios a sweep can afford — the
+ * recorded `replay.replay_instr_per_sec` aggregate feeds the CI
+ * regression guard (scripts/run_ci.sh bench stage).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+
+#include "bench_util.hh"
+#include "driver/trace_sim.hh"
+#include "sim/table.hh"
+
+using namespace starnuma;
+using benchutil::benchScale;
+
+namespace
+{
+
+/** One workload's measured replay rates (both system setups). */
+struct ReplayRate
+{
+    std::string workload;
+    double starInstrPerSec = 0;
+    double baseInstrPerSec = 0;
+};
+
+/**
+ * Replay @p trace through a fresh TraceSim and return simulated
+ * instructions per second of wall time. Deterministic work, so one
+ * timed pass suffices; the result is kept live via DoNotOptimize.
+ */
+double
+timedReplay(const trace::WorkloadTrace &trace,
+            const driver::SystemSetup &setup, const SimScale &scale)
+{
+    using clock = std::chrono::steady_clock;
+    driver::TraceSim sim(setup, scale);
+    auto t0 = clock::now();
+    driver::TraceSimResult r = sim.run(trace);
+    auto t1 = clock::now();
+    benchmark::DoNotOptimize(r.checkpoints.size());
+    double secs = std::chrono::duration<double>(t1 - t0).count();
+    std::uint64_t instr =
+        trace.instructionsPerThread *
+        static_cast<std::uint64_t>(trace.threads);
+    return static_cast<double>(instr) / std::max(secs, 1e-9);
+}
+
+std::vector<ReplayRate> measured;
+
+void
+BM_Replay(benchmark::State &state, const std::string &workload)
+{
+    SimScale scale = benchScale();
+    const trace::WorkloadTrace &trace =
+        driver::workloadTrace(workload, scale);
+    ReplayRate rate;
+    rate.workload = workload;
+    for (auto _ : state) {
+        rate.starInstrPerSec = timedReplay(
+            trace, driver::SystemSetup::starnuma(), scale);
+        rate.baseInstrPerSec = timedReplay(
+            trace, driver::SystemSetup::baseline(), scale);
+    }
+    state.counters["star_instr_per_sec"] = rate.starInstrPerSec;
+    state.counters["base_instr_per_sec"] = rate.baseInstrPerSec;
+    measured.push_back(rate);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    benchutil::initBench(&argc, argv);
+    SimScale scale = benchScale();
+
+    // Capture every trace up front (memoized + disk cached) so the
+    // timed region measures replay alone, not step A.
+    for (const auto &w : benchutil::benchWorkloads())
+        driver::workloadTrace(w, scale);
+
+    for (const auto &w : benchutil::benchWorkloads())
+        benchmark::RegisterBenchmark(("Replay/" + w).c_str(),
+                                     BM_Replay, w)
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    int rc = benchutil::runBenchmarks(argc, argv);
+
+    TextTable t({"workload", "starnuma Minstr/s",
+                 "baseline Minstr/s"});
+    double star_sum = 0, base_sum = 0;
+    for (const ReplayRate &r : measured) {
+        benchutil::recordResult(
+            "replay.star_instr_per_sec." + r.workload,
+            r.starInstrPerSec);
+        benchutil::recordResult(
+            "replay.base_instr_per_sec." + r.workload,
+            r.baseInstrPerSec);
+        star_sum += r.starInstrPerSec;
+        base_sum += r.baseInstrPerSec;
+        t.addRow({r.workload,
+                  TextTable::num(r.starInstrPerSec / 1e6, 1),
+                  TextTable::num(r.baseInstrPerSec / 1e6, 1)});
+    }
+    if (!measured.empty()) {
+        // The headline number: mean over workloads and both system
+        // setups, the rate a mixed sweep advances at.
+        double n = static_cast<double>(measured.size());
+        double mean = (star_sum + base_sum) / (2.0 * n);
+        benchutil::recordResult("replay.replay_instr_per_sec",
+                                mean);
+        t.addRow({"mean", TextTable::num(star_sum / 1e6 / n, 1),
+                  TextTable::num(base_sum / 1e6 / n, 1)});
+    }
+    benchutil::printSection(
+        "Step-B replay throughput (simulated instructions per "
+        "second)",
+        t.str());
+    return rc;
+}

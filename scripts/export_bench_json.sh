@@ -1,8 +1,10 @@
 #!/bin/sh
 # Export the headline bench results (Fig. 8 speedups, Table III
-# IPC/MPKI) as machine-readable JSON: runs both benches in
-# STARNUMA_BENCH_FAST mode with --bench-json and merges the two
-# parts into BENCH_results.json at the repository root.
+# IPC/MPKI, step-B replay throughput) as machine-readable JSON:
+# runs the benches in STARNUMA_BENCH_FAST mode with --bench-json
+# and merges the parts into BENCH_results.json at the repository
+# root. The replay.replay_instr_per_sec entry is what the optional
+# `bench` CI stage (scripts/run_ci.sh) guards against regression.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -10,7 +12,7 @@ if [ ! -d build ]; then
     cmake -B build -G Ninja
 fi
 cmake --build build --target bench_fig08_main_results \
-    bench_table3_workloads
+    bench_table3_workloads bench_replay_throughput
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -19,8 +21,17 @@ STARNUMA_BENCH_FAST=1 ./build/bench/bench_fig08_main_results \
     --bench-json="$tmp/fig08.json" >/dev/null
 STARNUMA_BENCH_FAST=1 ./build/bench/bench_table3_workloads \
     --bench-json="$tmp/table3.json" >/dev/null
+# Replay throughput is wall-clock sensitive; measure best-of-3 so
+# the committed baseline is the same statistic the CI bench guard
+# (scripts/run_ci.sh) later measures — interference only ever
+# lowers throughput, so the max over repeats is the honest value.
+for i in 1 2 3; do
+    STARNUMA_BENCH_FAST=1 ./build/bench/bench_replay_throughput \
+        --bench-json="$tmp/replay$i.json" >/dev/null
+done
 
-python3 - "$tmp/fig08.json" "$tmp/table3.json" <<'EOF'
+python3 - "$tmp/fig08.json" "$tmp/table3.json" \
+    "$tmp"/replay[123].json <<'EOF'
 import json
 import sys
 
@@ -31,7 +42,10 @@ for path in sys.argv[1:]:
         part = json.load(fh)
     assert part["schema"] == "starnuma-bench-v1", part["schema"]
     merged["fast_mode"] = bool(part["fast_mode"])
-    merged["results"].update(part["results"])
+    for key, val in part["results"].items():
+        if key.startswith("replay.") and key in merged["results"]:
+            val = max(val, merged["results"][key])
+        merged["results"][key] = val
     merged["wall_time_s"] += part["wall_time_s"]
 merged["results"] = dict(sorted(merged["results"].items()))
 merged["wall_time_s"] = round(merged["wall_time_s"], 3)

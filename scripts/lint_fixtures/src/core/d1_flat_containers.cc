@@ -1,0 +1,63 @@
+// Fixture: D1 — FlatMap/FlatSet (sim/flat_map.hh) iterate in
+// insertion order, so loops over them need no annotation. The name
+// 'hotness' is deliberately shared with d1_unordered_iteration.cc's
+// unordered member: the per-file flat declaration must win over the
+// globally-collected unordered name. A name declared both flat AND
+// unordered in the same file stays flagged (conservative).
+
+#include <unordered_map>
+
+namespace fixture
+{
+
+template <typename K, typename V> struct FlatMap
+{
+    const V *begin() const { return nullptr; }
+    const V *end() const { return nullptr; }
+};
+template <typename K> struct FlatSet
+{
+    const K *begin() const { return nullptr; }
+    const K *end() const { return nullptr; }
+};
+
+struct FlatState
+{
+    FlatMap<int, int> hotness;
+    FlatSet<int> residents;
+};
+
+int
+sumFlat(const FlatState &s)
+{
+    int sum = 0;
+    for (const auto &v : s.hotness) // flat: no finding
+        sum += v;
+    for (int r : s.residents) // flat: no finding
+        sum += r;
+    return sum;
+}
+
+int
+sumFlatAlias()
+{
+    // Same name declared flat here and unordered below: the
+    // exemption must not apply anywhere in this file.
+    FlatMap<int, int> mixed;
+    int sum = 0;
+    for (const auto &v : mixed) // expect-lint: D1
+        sum += v;
+    return sum;
+}
+
+int
+sumUnorderedAlias()
+{
+    std::unordered_map<int, int> mixed;
+    int sum = 0;
+    for (const auto &[k, v] : mixed) // expect-lint: D1
+        sum += v;
+    return sum;
+}
+
+} // namespace fixture

@@ -8,7 +8,11 @@
 # one thing a CI job needs to invoke.
 #
 # Usage: scripts/run_ci.sh [stage ...]
-#   stages: tier1 lint sanitizers   (default: all three, in order)
+#   stages: tier1 lint sanitizers bench
+#   (default: tier1 lint sanitizers, in order; `bench` is opt-in —
+#    it re-measures step-B replay throughput and fails on a >20%
+#    regression of replay.replay_instr_per_sec vs the committed
+#    BENCH_results.json, so only run it on quiet machines)
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
@@ -46,6 +50,55 @@ tier1() {
         ctest --test-dir build --output-on-failure -j "$(nproc)"
 }
 
+bench_guard() {
+    if [ ! -f BENCH_results.json ]; then
+        echo "bench: no committed BENCH_results.json to compare" \
+             "against; run scripts/export_bench_json.sh first" >&2
+        return 1
+    fi
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo &&
+        cmake --build build -j "$(nproc)" \
+              --target bench_replay_throughput || return 1
+    local tmp
+    tmp=$(mktemp -d) || return 1
+    # shellcheck disable=SC2064
+    trap "rm -rf '${tmp}'" RETURN
+    # Best-of-3: wall-clock throughput on a shared machine is
+    # noisy in one direction only (interference makes it slower,
+    # never faster), so the max over repeats is the honest value.
+    local i
+    for i in 1 2 3; do
+        STARNUMA_BENCH_FAST=1 \
+            ./build/bench/bench_replay_throughput \
+            --bench-json="${tmp}/replay${i}.json" >/dev/null ||
+            return 1
+    done
+    python3 - BENCH_results.json "${tmp}"/replay[123].json <<'EOF'
+import json
+import sys
+
+KEY = "replay.replay_instr_per_sec"
+LIMIT = 0.20  # tolerated fractional slowdown
+
+with open(sys.argv[1]) as fh:
+    committed = json.load(fh)["results"]
+if KEY not in committed:
+    sys.exit("bench: committed BENCH_results.json lacks %s; "
+             "re-run scripts/export_bench_json.sh" % KEY)
+baseline = float(committed[KEY])
+current = 0.0
+for path in sys.argv[2:]:
+    with open(path) as fh:
+        current = max(current, float(json.load(fh)["results"][KEY]))
+ratio = current / baseline
+print("bench: %s  committed %.3g  best-of-%d %.3g  (%.2fx)"
+      % (KEY, baseline, len(sys.argv) - 2, current, ratio))
+if ratio < 1.0 - LIMIT:
+    sys.exit("bench: replay throughput regressed by %.0f%% "
+             "(limit %.0f%%)" % ((1 - ratio) * 100, LIMIT * 100))
+EOF
+}
+
 for stage in "${stages[@]}"; do
     case "${stage}" in
       tier1)      run_stage "tier1 ctest" tier1 ;;
@@ -53,9 +106,11 @@ for stage in "${stages[@]}"; do
                             scripts/run_lint.sh ;;
       sanitizers) run_stage "sanitizers (TSan, ASan+UBSan)" \
                             scripts/run_sanitizers.sh ;;
+      bench)      run_stage "bench (replay regression guard)" \
+                            bench_guard ;;
       *)
         echo "run_ci.sh: unknown stage '${stage}'" \
-             "(expected tier1|lint|sanitizers)" >&2
+             "(expected tier1|lint|sanitizers|bench)" >&2
         exit 2
         ;;
     esac

@@ -9,7 +9,11 @@ D1  Range-for over an ``unordered_map``/``unordered_set`` in a
     ``// lint: order-independent`` annotation on the loop line or the
     line directly above. Hash iteration order is not part of the
     simulator's contract; any loop whose effect depends on it is a
-    determinism bug.
+    determinism bug. ``FlatMap``/``FlatSet`` (sim/flat_map.hh)
+    iterate in insertion order and are order-deterministic: a name
+    declared flat in the same file is exempt — unless the same file
+    also declares it unordered, in which case the lint stays
+    conservative and flags the loop.
 D2  Banned nondeterminism sources anywhere outside ``src/sim/rng.*``:
     ``std::rand``, ``random_device``, ``time(nullptr)``/``time(NULL)``,
     ``high_resolution_clock``. All randomness must flow through the
@@ -97,6 +101,8 @@ D5_ALLOWED_FILES = ("src/sim/logging.cc", "src/sim/table.cc")
 D5_ALLOWED_DIRS = ("src/sim/obs/",)
 
 UNORDERED_DECL = re.compile(r"\bunordered_(?:map|set)\s*<")
+# Insertion-order-deterministic flat containers (sim/flat_map.hh).
+FLAT_DECL = re.compile(r"\bFlat(?:Map|Set)\s*<")
 RANGE_FOR = re.compile(
     r"\bfor\s*\([^;()]*?:\s*&?\s*([A-Za-z_][\w.\->]*)\s*\)"
 )
@@ -192,12 +198,12 @@ def strip_comments_and_strings(text):
     return "".join(out)
 
 
-def collect_unordered_names(code):
+def collect_decl_names(code, decl_re):
     """Identifiers declared (anywhere in @p code, comments stripped)
-    with an unordered_map/unordered_set type: variables, members,
-    references, and functions returning one."""
+    with a type matching @p decl_re: variables, members, references,
+    and functions returning one."""
     names = set()
-    for m in UNORDERED_DECL.finditer(code):
+    for m in decl_re.finditer(code):
         # Match the template argument list's angle brackets.
         i = m.end() - 1
         depth = 0
@@ -226,7 +232,8 @@ def is_result_path(rel):
     )
 
 
-def check_d1(rel, raw_lines, code_lines, unordered_names, findings):
+def check_d1(rel, raw_lines, code_lines, unordered_names,
+             local_flat, local_unordered, findings):
     if not is_result_path(rel):
         return
     for idx, code in enumerate(code_lines):
@@ -241,6 +248,11 @@ def check_d1(rel, raw_lines, code_lines, unordered_names, findings):
         if not m:
             continue
         target = m.group(1).split(".")[-1].split("->")[-1]
+        # A name declared FlatMap/FlatSet in this same file iterates
+        # in insertion order; exempt unless the file also declares
+        # the name unordered (ambiguous -> stay conservative).
+        if target in local_flat and target not in local_unordered:
+            continue
         if target not in unordered_names:
             continue
         annotated = any(
@@ -652,19 +664,24 @@ def lint_files(paths):
 
     texts = {}
     unordered_names = set()
+    local_decls = {}
     for f in files:
         with open(f, encoding="utf-8", errors="replace") as fh:
             raw = fh.read()
         code = strip_comments_and_strings(raw)
         texts[f] = (raw.splitlines(), code.splitlines(), code)
-        unordered_names |= collect_unordered_names(code)
+        local_unordered = collect_decl_names(code, UNORDERED_DECL)
+        local_decls[f] = (collect_decl_names(code, FLAT_DECL),
+                          local_unordered)
+        unordered_names |= local_unordered
 
     findings = []
     for f in files:
         rel = relpath(f)
         raw_lines, code_lines, code_text = texts[f]
+        local_flat, local_unordered = local_decls[f]
         check_d1(rel, raw_lines, code_lines, unordered_names,
-                 findings)
+                 local_flat, local_unordered, findings)
         check_d2(rel, code_lines, findings)
         check_d3(rel, code_lines, findings)
         check_d4(rel, raw_lines, findings)

@@ -114,7 +114,7 @@ MigrationEngine::decidePhase(RegionTracker &tracker,
 
     // Phase snapshot for victim lookups (the live tracker was just
     // reset; untouched regions read as zero -> always cold).
-    std::unordered_map<RegionId, TrackerEntry> snapshot;
+    FlatMap<RegionId, TrackerEntry> snapshot;
     snapshot.reserve(touched_sorted.size());
     for (const auto &[r, e] : touched_sorted)
         snapshot.emplace(r, e);
@@ -201,12 +201,13 @@ MigrationEngine::decidePhase(RegionTracker &tracker,
             bool room = true;
             while (pages.pagesAt(poolNode) + pagesPerRegion >
                    pool_capacity_pages) {
-                // Victim choice must not depend on hash-set
-                // iteration order: take the lowest-numbered cold
-                // resident (a commutative min-reduction).
+                // Victim choice: the lowest-numbered cold resident
+                // (a commutative min-reduction, so it would be
+                // order-safe even without FlatSet's deterministic
+                // iteration order).
                 RegionId victim = 0;
                 bool found = false;
-                for (RegionId pr : poolResidents) { // lint: order-independent
+                for (RegionId pr : poolResidents) {
                     if (phaseEntry(pr).accesses <= lo &&
                         (!found || pr < victim)) {
                         victim = pr;

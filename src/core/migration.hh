@@ -17,11 +17,10 @@
 #define STARNUMA_CORE_MIGRATION_HH
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/region_tracker.hh"
+#include "sim/flat_map.hh"
 #include "mem/page_map.hh"
 #include "sim/rng.hh"
 #include "sim/types.hh"
@@ -151,8 +150,8 @@ class MigrationEngine
     std::uint32_t hi;
     std::uint32_t lo;
 
-    std::unordered_map<RegionId, int> migrationCounts;
-    std::unordered_set<RegionId> poolResidents;
+    FlatMap<RegionId, int> migrationCounts;
+    FlatSet<RegionId> poolResidents;
 
     std::uint64_t migrated_;
     std::uint64_t toPool_;

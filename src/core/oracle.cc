@@ -23,8 +23,7 @@ OraclePlacement::place(mem::PageMap &pages, bool use_pool,
     };
     std::vector<PoolCandidate> pool_candidates;
 
-    stats.forEach([&](PageNum page,
-                      const std::vector<std::uint32_t> &counts) {
+    stats.forEach([&](PageNum page, const std::uint32_t *counts) {
         std::uint64_t total = 0;
         int sharers = 0;
         NodeId best = 0;

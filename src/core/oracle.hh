@@ -28,11 +28,22 @@ class OraclePlacement
   public:
     explicit OraclePlacement(int sockets) : stats(sockets) {}
 
+    /**
+     * Switch the access-count table to flat storage over
+     * [base, base + pages) (see PageAccessStats::preallocate).
+     */
+    void
+    preallocate(PageNum base, std::size_t pages)
+    {
+        stats.preallocate(base, pages);
+    }
+
     /** Whole-run access knowledge feed (all phases). */
     void
-    recordAccess(PageNum page, NodeId socket)
+    recordAccess(PageNum page, NodeId socket,
+                 std::uint32_t count = 1)
     {
-        stats.record(page, socket);
+        stats.record(page, socket, count);
     }
 
     /**

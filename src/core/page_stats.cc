@@ -7,59 +7,106 @@ namespace starnuma
 namespace core
 {
 
+namespace
+{
+
+/** Counter blocks per arena chunk (chunks chain on exhaustion). */
+constexpr std::size_t blocksPerArena = 64 * 1024;
+
+} // anonymous namespace
+
 PageAccessStats::PageAccessStats(int sockets) : sockets_(sockets)
 {
     sn_assert(sockets > 0, "need at least one socket");
 }
 
-void
-PageAccessStats::record(PageNum page, NodeId socket)
+std::uint32_t *
+PageAccessStats::newBlock()
 {
-    sn_assert(socket >= 0 && socket < sockets_,
-              "access by unknown socket %d", socket);
-    auto it = pageCounts.find(page);
-    if (it == pageCounts.end())
-        it = pageCounts.emplace(page,
-                            std::vector<std::uint32_t>(sockets_, 0))
-                 .first;
-    ++it->second[socket];
+    std::size_t bytes = sizeof(std::uint32_t) *
+                        static_cast<std::size_t>(sockets_);
+    if (!arenas.empty()) {
+        auto *p =
+            arenas.back().allocArray<std::uint32_t>(sockets_);
+        if (p)
+            return p;
+    }
+    // Exhausted (or first use): chain a fresh fixed-size arena.
+    arenas.emplace_back(blocksPerArena * bytes);
+    auto *p = arenas.back().allocArray<std::uint32_t>(sockets_);
+    sn_assert(p != nullptr, "fresh arena must fit one block");
+    return p;
+}
+
+void
+PageAccessStats::preallocate(PageNum base, std::size_t pages)
+{
+    sn_assert(pageCounts.empty() && flat.empty(),
+              "preallocate before recording any access");
+    if (pages == 0)
+        return;
+    flatBase = base;
+    flat.assign(pages, nullptr);
+    order.reserve(pages);
+}
+
+void
+PageAccessStats::reset()
+{
+    pageCounts.clear();
+    for (PageNum page : order)
+        flat[page.value() - flatBase.value()] = nullptr;
+    order.clear();
+    for (Arena &a : arenas)
+        a.reset();
+}
+
+const std::uint32_t *
+PageAccessStats::findBlock(PageNum page) const
+{
+    if (flat.empty()) {
+        auto it = pageCounts.find(page);
+        return it == pageCounts.end() ? nullptr : it->second;
+    }
+    std::uint64_t slot = page.value() - flatBase.value();
+    return slot < flat.size() ? flat[slot] : nullptr;
 }
 
 std::uint64_t
 PageAccessStats::totalAccesses(PageNum page) const
 {
-    auto it = pageCounts.find(page);
-    if (it == pageCounts.end())
+    const std::uint32_t *block = findBlock(page);
+    if (!block)
         return 0;
     std::uint64_t total = 0;
-    for (auto c : it->second)
-        total += c;
+    for (int s = 0; s < sockets_; ++s)
+        total += block[s];
     return total;
 }
 
 int
 PageAccessStats::sharers(PageNum page) const
 {
-    auto it = pageCounts.find(page);
-    if (it == pageCounts.end())
+    const std::uint32_t *block = findBlock(page);
+    if (!block)
         return 0;
     int n = 0;
-    for (auto c : it->second)
-        n += (c > 0);
+    for (int s = 0; s < sockets_; ++s)
+        n += (block[s] > 0);
     return n;
 }
 
 NodeId
 PageAccessStats::majoritySocket(PageNum page) const
 {
-    auto it = pageCounts.find(page);
-    if (it == pageCounts.end())
+    const std::uint32_t *block = findBlock(page);
+    if (!block)
         return -1;
     NodeId best = 0;
     for (int s = 1; s < sockets_; ++s)
-        if (it->second[s] > it->second[best])
+        if (block[s] > block[best])
             best = s;
-    return it->second[best] > 0 ? best : -1;
+    return block[best] > 0 ? best : -1;
 }
 
 } // namespace core

@@ -6,15 +6,23 @@
  * the oracular static placement of §V-B. It is deliberately *not*
  * hardware-feasible — that is the point of the comparison with
  * StarNUMA's region-granular T_i trackers.
+ *
+ * This sits on the baseline's per-record hot path, so the counter
+ * blocks live in arena-backed flat storage: one FlatMap probe finds
+ * the page's block, and the per-socket counters are a contiguous
+ * uint32_t array bump-allocated from a chained arena (one malloc'd
+ * vector per page would dominate the replay profile).
  */
 
 #ifndef STARNUMA_CORE_PAGE_STATS_HH
 #define STARNUMA_CORE_PAGE_STATS_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/arena.hh"
+#include "sim/flat_map.hh"
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace starnuma
@@ -28,8 +36,35 @@ class PageAccessStats
   public:
     explicit PageAccessStats(int sockets);
 
-    /** Count one access to page number @p page by @p socket. */
-    void record(PageNum page, NodeId socket);
+    /**
+     * Switch to flat-table storage over page numbers
+     * [base, base + pages). Must be called while no access is
+     * recorded; every page recorded afterwards must fall in the
+     * range. Iteration order (first-access order) is unchanged.
+     */
+    void preallocate(PageNum base, std::size_t pages);
+
+    /** Count @p count accesses to page @p page by @p socket. */
+    void
+    record(PageNum page, NodeId socket, std::uint32_t count = 1)
+    {
+        std::uint32_t *block;
+        if (flat.empty()) {
+            auto [it, inserted] =
+                pageCounts.try_emplace(page, nullptr);
+            if (inserted)
+                it->second = newBlock();
+            block = it->second;
+        } else {
+            std::uint32_t *&slot = flat[flatSlot(page)];
+            if (!slot) {
+                slot = newBlock();
+                order.push_back(page);
+            }
+            block = slot;
+        }
+        block[socket] += count;
+    }
 
     /** Total accesses to @p page across sockets. */
     std::uint64_t totalAccesses(PageNum page) const;
@@ -41,26 +76,60 @@ class PageAccessStats
     NodeId majoritySocket(PageNum page) const;
 
     /** Pages with at least one access. */
-    std::size_t touchedPages() const { return pageCounts.size(); }
+    std::size_t
+    touchedPages() const
+    {
+        return flat.empty() ? pageCounts.size() : order.size();
+    }
 
     int sockets() const { return sockets_; }
 
-    /** Visit (page, per-socket counts) for every touched page. */
+    /**
+     * Visit (page, per-socket counts) for every touched page, in
+     * first-access order; @p counts points at sockets() entries.
+     */
     template <typename Fn>
     void
     forEach(Fn &&fn) const
     {
-        // lint: order-independent — both policies sort their
-        // candidate lists (heat, then page) before deciding.
-        for (const auto &[page, c] : pageCounts) // lint: order-independent
-            fn(page, c);
+        if (flat.empty()) {
+            for (const auto &[page, counts] : pageCounts)
+                fn(page,
+                   static_cast<const std::uint32_t *>(counts));
+        } else {
+            for (PageNum page : order)
+                fn(page, static_cast<const std::uint32_t *>(
+                             flat[page.value() -
+                                  flatBase.value()]));
+        }
     }
 
-    void reset() { pageCounts.clear(); }
+    /** Drop all counts; arena storage is reused for the next phase. */
+    void reset();
 
   private:
+    /** A zeroed sockets_-wide counter block from the arena chain. */
+    std::uint32_t *newBlock();
+
+    /** Block of @p page in either mode (null if untouched). */
+    const std::uint32_t *findBlock(PageNum page) const;
+
+    /** Flat-mode slot of @p page (panics when out of range). */
+    std::size_t
+    flatSlot(PageNum page) const
+    {
+        std::uint64_t slot = page.value() - flatBase.value();
+        sn_assert(slot < flat.size(),
+                  "page outside the preallocated range");
+        return static_cast<std::size_t>(slot);
+    }
+
     int sockets_;
-    std::unordered_map<PageNum, std::vector<std::uint32_t>> pageCounts;
+    FlatMap<PageNum, std::uint32_t *> pageCounts;
+    std::vector<std::uint32_t *> flat; // flat mode: block per slot
+    std::vector<PageNum> order;        // flat mode: access order
+    PageNum flatBase{0};
+    std::vector<Arena> arenas;
 };
 
 } // namespace core

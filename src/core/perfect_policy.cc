@@ -27,8 +27,7 @@ PerfectPagePolicy::decidePhase(mem::PageMap &pages)
     };
 
     std::vector<Candidate> candidates;
-    stats.forEach([&](PageNum page,
-                      const std::vector<std::uint32_t> &counts) {
+    stats.forEach([&](PageNum page, const std::uint32_t *counts) {
         std::uint64_t total = 0;
         NodeId best = 0;
         for (int s = 0; s < stats.sockets(); ++s) {

@@ -11,7 +11,6 @@
 #define STARNUMA_CORE_PERFECT_POLICY_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "core/page_stats.hh"
@@ -44,11 +43,22 @@ class PerfectPagePolicy
                       std::uint32_t migration_limit_pages,
                       std::uint32_t min_accesses = 4);
 
-    /** Zero-cost access knowledge feed. */
+    /**
+     * Switch the access-count table to flat storage over
+     * [base, base + pages) (see PageAccessStats::preallocate).
+     */
     void
-    recordAccess(PageNum page, NodeId socket)
+    preallocate(PageNum base, std::size_t pages)
     {
-        stats.record(page, socket);
+        stats.preallocate(base, pages);
+    }
+
+    /** Zero-cost access knowledge feed (@p count accesses). */
+    void
+    recordAccess(PageNum page, NodeId socket,
+                 std::uint32_t count = 1)
+    {
+        stats.record(page, socket, count);
     }
 
     /**

@@ -41,26 +41,26 @@ RegionTracker::pagesPerRegion() const
 }
 
 void
-RegionTracker::record(Addr addr, NodeId socket, std::uint32_t count)
+RegionTracker::preallocate(RegionId base, std::size_t regions)
 {
-    sn_assert(socket >= 0 && socket < sockets,
-              "record from unknown socket %d", socket);
-    TrackerEntry &e = entries[regionOf(addr)];
-    e.sharerMask |= 1ULL << socket;
-    if (counterBits_ > 0) {
-        std::uint64_t next =
-            static_cast<std::uint64_t>(e.accesses) + count;
-        e.accesses = next > counterMax
-                         ? counterMax
-                         : static_cast<std::uint32_t>(next);
-    }
+    sn_assert(entries.empty() && flat.empty(),
+              "preallocate before recording any access");
+    if (regions == 0)
+        return;
+    flatBase = base;
+    flat.assign(regions, TrackerEntry{});
+    touchedOrder.reserve(regions);
 }
 
 const TrackerEntry &
 RegionTracker::entry(RegionId region) const
 {
-    auto it = entries.find(region);
-    return it == entries.end() ? zeroEntry : it->second;
+    if (flat.empty()) {
+        auto it = entries.find(region);
+        return it == entries.end() ? zeroEntry : it->second;
+    }
+    std::uint64_t slot = region - flatBase;
+    return slot < flat.size() ? flat[slot] : zeroEntry;
 }
 
 std::uint64_t

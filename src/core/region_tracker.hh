@@ -13,8 +13,10 @@
 #define STARNUMA_CORE_REGION_TRACKER_HH
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
+#include "sim/flat_map.hh"
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace starnuma
@@ -65,18 +67,57 @@ class RegionTracker
     }
 
     /**
+     * Switch to flat-table storage over regions
+     * [base, base + regions). Must be called while no region is
+     * touched; every region recorded afterwards must fall in the
+     * range. Iteration order (first-touch order) is unchanged.
+     */
+    void preallocate(RegionId base, std::size_t regions);
+
+    /**
      * Fold @p count accesses by @p socket into the region holding
      * @p addr (the PTW adding a TLB annex value, §III-D1). The
      * counter saturates at 2^i - 1; with T_0 only the presence bit
      * is recorded.
      */
-    void record(Addr addr, NodeId socket, std::uint32_t count = 1);
+    void
+    record(Addr addr, NodeId socket, std::uint32_t count = 1)
+    {
+        sn_assert(socket >= 0 && socket < sockets,
+                  "record from unknown socket %d", socket);
+        RegionId region = regionOf(addr);
+        TrackerEntry *e;
+        if (flat.empty()) {
+            e = &entries[region];
+        } else {
+            std::uint64_t slot = region - flatBase;
+            sn_assert(slot < flat.size(),
+                      "region outside the preallocated range");
+            e = &flat[slot];
+            // Every record sets a presence bit, so an untouched
+            // entry is exactly one with an empty sharer mask.
+            if (e->sharerMask == 0)
+                touchedOrder.push_back(region);
+        }
+        e->sharerMask |= 1ULL << socket;
+        if (counterBits_ > 0) {
+            std::uint64_t next =
+                static_cast<std::uint64_t>(e->accesses) + count;
+            e->accesses = next > counterMax
+                              ? counterMax
+                              : static_cast<std::uint32_t>(next);
+        }
+    }
 
     /** Entry for @p region (zero entry if never touched). */
     const TrackerEntry &entry(RegionId region) const;
 
     /** Regions with at least one recorded access this phase. */
-    std::size_t touchedRegions() const { return entries.size(); }
+    std::size_t
+    touchedRegions() const
+    {
+        return flat.empty() ? entries.size() : touchedOrder.size();
+    }
 
     /**
      * Size in bytes of the metadata region for @p total_memory
@@ -96,22 +137,36 @@ class RegionTracker
     void
     scanAndReset(Fn &&fn)
     {
-        // lint: order-independent — the migration engine sorts
-        // the snapshot (heat/id) before any decision.
-        for (auto &[region, e] : entries) // lint: order-independent
-            fn(region, e);
-        entries.clear();
+        if (flat.empty()) {
+            for (auto &[region, e] : entries)
+                fn(region, e);
+            entries.clear();
+        } else {
+            for (RegionId region : touchedOrder)
+                fn(region, flat[region - flatBase]);
+            reset();
+        }
     }
 
     /** Clear without scanning. */
-    void reset() { entries.clear(); }
+    void
+    reset()
+    {
+        entries.clear();
+        for (RegionId region : touchedOrder)
+            flat[region - flatBase] = TrackerEntry{};
+        touchedOrder.clear();
+    }
 
   private:
     int counterBits_;
     int sockets;
     Addr regionBytes_;
     std::uint32_t counterMax;
-    std::unordered_map<RegionId, TrackerEntry> entries;
+    FlatMap<RegionId, TrackerEntry> entries;
+    std::vector<TrackerEntry> flat; // flat mode: entry per slot
+    std::vector<RegionId> touchedOrder;
+    RegionId flatBase = 0;
     static const TrackerEntry zeroEntry;
 };
 

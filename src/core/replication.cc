@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <bit>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/flat_map.hh"
 #include "sim/logging.hh"
 
 namespace starnuma
@@ -26,7 +25,7 @@ planReplication(const trace::WorkloadTrace &trace,
         std::uint64_t sharerMask = 0;
         std::uint64_t accesses = 0;
     };
-    std::unordered_map<PageNum, PageInfo> pages;
+    FlatMap<PageNum, PageInfo> pages;
     for (int t = 0; t < trace.threads; ++t) {
         NodeId socket = t / cores_per_socket;
         for (const auto &r : trace.perThread[t]) {
@@ -35,8 +34,10 @@ planReplication(const trace::WorkloadTrace &trace,
             ++p.accesses;
         }
     }
-    std::unordered_set<PageNum> written(trace.writtenPages.begin(),
-                                     trace.writtenPages.end());
+    FlatSet<PageNum> written;
+    written.reserve(trace.writtenPages.size());
+    for (PageNum wp : trace.writtenPages)
+        written.insert(wp);
 
     struct Candidate
     {
@@ -48,7 +49,7 @@ planReplication(const trace::WorkloadTrace &trace,
     ReplicationPlan plan;
     // Candidates are sorted (heat, then page) below; the
     // rejection counter is a commutative sum.
-    for (const auto &[page, info] : pages) { // lint: order-independent
+    for (const auto &[page, info] : pages) {
         int sharers = std::popcount(info.sharerMask);
         if (sharers < config.sharerThreshold)
             continue;

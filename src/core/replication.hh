@@ -18,7 +18,8 @@
 #define STARNUMA_CORE_REPLICATION_HH
 
 #include <cstdint>
-#include <unordered_set>
+
+#include "sim/flat_map.hh"
 
 // lint: layer-exception — idealized replication (§V-F) is an
 // *offline* analysis over a whole captured run: candidate selection
@@ -51,7 +52,7 @@ struct ReplicationConfig
 struct ReplicationPlan
 {
     /** Pages replicated at every sharer (accesses become local). */
-    std::unordered_set<PageNum> replicated;
+    FlatSet<PageNum> replicated;
 
     /** Replica bytes divided by footprint bytes. */
     double capacityOverhead = 0.0;
@@ -65,7 +66,7 @@ struct ReplicationPlan
     bool
     isReplicated(PageNum page) const
     {
-        return replicated.find(page) != replicated.end();
+        return replicated.contains(page);
     }
 };
 

@@ -107,6 +107,34 @@ TlbAnnex::recordAccess(Addr vaddr)
 }
 
 void
+TlbAnnex::recordAccessRun(Addr vaddr, std::uint64_t count)
+{
+    recordAccess(vaddr);
+    if (count <= 1)
+        return;
+    PageNum page = pageNumber(vaddr);
+    Entry *set = &sets[setOf(page) * ways];
+    Entry *e = nullptr;
+    for (int w = 0; w < ways; ++w) {
+        if (set[w].valid && set[w].page == page) {
+            e = &set[w];
+            break;
+        }
+    }
+    sn_assert(e != nullptr, "just-accessed page must be resident");
+    std::uint64_t extra = count - 1;
+    useClock += extra;
+    hits_ += extra;
+    e->lastUse = useClock;
+    if (counterMax > 0) {
+        std::uint64_t next = e->counter + extra;
+        e->counter = next > counterMax
+                         ? counterMax
+                         : static_cast<std::uint32_t>(next);
+    }
+}
+
+void
 TlbAnnex::setMarkers()
 {
     for (Entry &e : sets)

@@ -49,6 +49,15 @@ class TlbAnnex
      */
     void recordAccess(Addr vaddr);
 
+    /**
+     * Record @p count consecutive LLC-missing accesses to @p vaddr.
+     * Identical to calling recordAccess(vaddr) @p count times: the
+     * first access makes the page resident and nothing can evict it
+     * mid-run, so the remaining count-1 are guaranteed hits with a
+     * clear marker bit, applied in one batch.
+     */
+    void recordAccessRun(Addr vaddr, std::uint64_t count);
+
     /** Set the marker bit on every entry (once per phase). */
     void setMarkers();
 

@@ -26,29 +26,25 @@ TlbDirectory::TlbDirectory(int n_cores) : cores(n_cores)
 }
 
 void
-TlbDirectory::fill(PageNum page, int core)
+TlbDirectory::preallocate(PageNum base, std::size_t pages)
 {
-    sn_assert(core >= 0 && core < cores, "fill by unknown core %d",
-              core);
-    map[page].set(core);
-}
-
-void
-TlbDirectory::evict(PageNum page, int core)
-{
-    auto it = map.find(page);
-    if (it == map.end())
+    sn_assert(map.empty() && flat.empty(),
+              "preallocate before tracking any translation");
+    if (pages == 0)
         return;
-    it->second.clear(core);
-    if (!it->second.any())
-        map.erase(it);
+    flatBase = base;
+    flat.assign(pages, TlbHolderMask{});
 }
 
 TlbHolderMask
 TlbDirectory::holders(PageNum page) const
 {
-    auto it = map.find(page);
-    return it == map.end() ? TlbHolderMask{} : it->second;
+    if (flat.empty()) {
+        auto it = map.find(page);
+        return it == map.end() ? TlbHolderMask{} : it->second;
+    }
+    std::uint64_t slot = page.value() - flatBase.value();
+    return slot < flat.size() ? flat[slot] : TlbHolderMask{};
 }
 
 int
@@ -61,7 +57,12 @@ int
 TlbDirectory::shootdown(PageNum page)
 {
     int targeted = holderCount(page);
-    map.erase(page);
+    if (flat.empty()) {
+        map.erase(page);
+    } else if (targeted > 0) {
+        flat[flatSlot(page)] = TlbHolderMask{};
+        --flatTracked;
+    }
     sent_ += targeted;
     saved_ += cores - targeted;
     return targeted;

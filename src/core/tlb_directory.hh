@@ -18,8 +18,10 @@
 #include <array>
 #include <cstdint>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
+#include "sim/flat_map.hh"
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace starnuma
@@ -62,11 +64,49 @@ class TlbDirectory
   public:
     explicit TlbDirectory(int cores);
 
+    /**
+     * Switch to flat-table storage over page numbers
+     * [base, base + pages). Must be called while no translation is
+     * tracked; every page filled afterwards must fall in the range.
+     */
+    void preallocate(PageNum base, std::size_t pages);
+
     /** Core @p core filled a TLB entry for page number @p page. */
-    void fill(PageNum page, int core);
+    void
+    fill(PageNum page, int core)
+    {
+        sn_assert(core >= 0 && core < cores,
+                  "fill by unknown core %d", core);
+        if (flat.empty()) {
+            map[page].set(core);
+        } else {
+            TlbHolderMask &m = flat[flatSlot(page)];
+            if (!m.any())
+                ++flatTracked;
+            m.set(core);
+        }
+    }
 
     /** Core @p core evicted its TLB entry for @p page. */
-    void evict(PageNum page, int core);
+    void
+    evict(PageNum page, int core)
+    {
+        if (flat.empty()) {
+            auto it = map.find(page);
+            if (it == map.end())
+                return;
+            it->second.clear(core);
+            if (!it->second.any())
+                map.erase(it);
+        } else {
+            TlbHolderMask &m = flat[flatSlot(page)];
+            if (!m.any())
+                return;
+            m.clear(core);
+            if (!m.any())
+                --flatTracked;
+        }
+    }
 
     /** Holder set of cores currently caching @p page. */
     TlbHolderMask holders(PageNum page) const;
@@ -83,7 +123,11 @@ class TlbDirectory
     int shootdown(PageNum page);
 
     /** Pages with at least one holder. */
-    std::size_t trackedPages() const { return map.size(); }
+    std::size_t
+    trackedPages() const
+    {
+        return flat.empty() ? map.size() : flatTracked;
+    }
 
     // Cumulative statistics.
     std::uint64_t shootdownsSent() const { return sent_; }
@@ -100,8 +144,21 @@ class TlbDirectory
                        const std::string &prefix) const;
 
   private:
+    /** Flat-mode slot of @p page (panics when out of range). */
+    std::size_t
+    flatSlot(PageNum page) const
+    {
+        std::uint64_t slot = page.value() - flatBase.value();
+        sn_assert(slot < flat.size(),
+                  "page outside the preallocated range");
+        return static_cast<std::size_t>(slot);
+    }
+
     int cores;
-    std::unordered_map<PageNum, TlbHolderMask> map;
+    FlatMap<PageNum, TlbHolderMask> map;
+    std::vector<TlbHolderMask> flat; // flat mode: mask per slot
+    PageNum flatBase{0};
+    std::size_t flatTracked = 0;
     std::uint64_t sent_ = 0;
     std::uint64_t saved_ = 0;
 };

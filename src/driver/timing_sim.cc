@@ -6,8 +6,6 @@
 #include <deque>
 #include <memory>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/replication.hh"
@@ -85,9 +83,8 @@ struct MachineState
         topo.resetContention();
         for (auto &mc : mcs)
             mc.resetContention();
-        // Rebuilds a map; per-page writes commute.
-        for (const auto &[page, home] :
-             checkpoint.pageHome) // lint: order-independent
+        // Rebuilds a map (FlatMap iterates in insertion order).
+        for (const auto &[page, home] : checkpoint.pageHome)
             pages.setHome(page, home);
         migrating.clear();
     }
@@ -114,10 +111,10 @@ struct MachineState
     std::vector<mem::MemoryController> mcs;
     mem::Directory directory;
     mem::PageMap pages;
-    std::unordered_map<PageNum, Cycles> migrating;
+    FlatMap<PageNum, Cycles> migrating;
     // Mutable copy of the §V-F replication set: a write to a
     // replicated page de-replicates it for the rest of the run.
-    std::unordered_set<PageNum> replicated;
+    FlatSet<PageNum> replicated;
 };
 
 /**
@@ -216,7 +213,7 @@ class PhaseSim
     std::vector<mem::MemoryController> &mcs;
     mem::Directory &directory;
     mem::PageMap &pages;
-    std::unordered_map<PageNum, Cycles> &migrating;
+    FlatMap<PageNum, Cycles> &migrating;
     std::vector<CoreState> cores;
     int phase_;
     double lightCpi;
@@ -471,10 +468,9 @@ PhaseSim::missAfterStall(CoreState &c, Addr vaddr, bool write,
     // replica; a write invalidates every replica (broadcast) and
     // de-replicates the page.
     if (!machine.replicated.empty()) {
-        auto rep = machine.replicated.find(page);
-        if (rep != machine.replicated.end()) {
+        if (machine.replicated.contains(page)) {
             if (write) {
-                machine.replicated.erase(rep);
+                machine.replicated.erase(page);
                 for (NodeId x = 0; x < setup.sys.sockets; ++x) {
                     if (x == s)
                         continue;

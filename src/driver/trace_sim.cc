@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 
 #include "core/oracle.hh"
 #include "core/region_tracker.hh"
@@ -11,6 +12,7 @@
 #include "sim/logging.hh"
 #include "sim/obs/obs.hh"
 #include "sim/rng.hh"
+#include "trace/columnar.hh"
 
 namespace starnuma
 {
@@ -61,13 +63,52 @@ namespace
 {
 
 /** Snapshot a PageMap into a checkpoint's plain map. */
-std::unordered_map<PageNum, NodeId>
+FlatMap<PageNum, NodeId>
 snapshot(const mem::PageMap &pm)
 {
-    std::unordered_map<PageNum, NodeId> out;
+    FlatMap<PageNum, NodeId> out;
     out.reserve(pm.totalPages());
     pm.forEach([&](PageNum page, NodeId home) { out[page] = home; });
     return out;
+}
+
+/**
+ * Page span [lo, hi] over every page the replay will touch (records
+ * and first touches). Captured traces bump-allocate their address
+ * space, so the span is dense and the hot-path tables can switch to
+ * flat array storage over it. Capture and the columnar decoder
+ * stamp the span on the trace; hand-built traces leave it unknown
+ * and pay one linear scan here.
+ * @return false for an empty trace.
+ */
+bool
+pageSpan(const trace::WorkloadTrace &trace, PageNum &lo,
+         PageNum &hi)
+{
+    if (trace.maxPage.value() != 0 ||
+        trace.minPage.value() != 0) {
+        lo = trace.minPage;
+        hi = trace.maxPage;
+        return true;
+    }
+    std::uint64_t min = ~std::uint64_t(0);
+    std::uint64_t max = 0;
+    for (const auto &ft : trace.firstTouches) {
+        min = std::min(min, ft.page.value());
+        max = std::max(max, ft.page.value());
+    }
+    for (const auto &recs : trace.perThread) {
+        for (const auto &r : recs) {
+            std::uint64_t p = pageNumber(r.vaddr()).value();
+            min = std::min(min, p);
+            max = std::max(max, p);
+        }
+    }
+    if (min > max)
+        return false;
+    lo = PageNum(min);
+    hi = PageNum(max);
+    return true;
 }
 
 } // anonymous namespace
@@ -86,7 +127,21 @@ TraceSim::runDynamic(const trace::WorkloadTrace &trace)
                    setup.sys.poolCapacityFraction)
              : 0;
 
+    // Captured traces cover one dense page range; give every
+    // page/region table flat array storage over it (identical
+    // behavior, array indexing instead of hashing on the hot path).
+    // Sparse hand-built traces keep the FlatMap storage.
+    PageNum spanLo{0}, spanHi{0};
+    std::uint64_t spanPages = 0;
+    if (pageSpan(trace, spanLo, spanHi)) {
+        std::uint64_t span = spanHi.value() - spanLo.value() + 1;
+        if (span <= result.footprintPages + 1024)
+            spanPages = span;
+    }
+
     mem::PageMap pm(nodes);
+    if (spanPages > 0)
+        pm.preallocate(spanLo, spanPages);
     for (const auto &ft : trace.firstTouches)
         pm.touch(ft.page, socketOf(ft.thread));
 
@@ -109,6 +164,11 @@ TraceSim::runDynamic(const trace::WorkloadTrace &trace)
     core::RegionTracker tracker(mig_cfg.counterBits,
                                 setup.sys.sockets,
                                 setup.regionBytes);
+    if (spanPages > 0) {
+        core::RegionId first = tracker.regionOf(pageBase(spanLo));
+        core::RegionId last = tracker.regionOf(pageBase(spanHi));
+        tracker.preallocate(first, last - first + 1);
+    }
     std::vector<core::TlbAnnex> tlbs;
     // Per-task RNG stream: the engine's tie-break generator is
     // seeded from the task identity (workload, config), never shared
@@ -120,6 +180,8 @@ TraceSim::runDynamic(const trace::WorkloadTrace &trace)
                                            setup.name}));
     core::TlbDirectory tlb_dir(trace.threads);
     if (star) {
+        if (spanPages > 0)
+            tlb_dir.preallocate(spanLo, spanPages);
         tlbs.reserve(trace.threads);
         for (ThreadId t = 0; t < trace.threads; ++t) {
             tlbs.emplace_back(core::TlbConfig{}, tracker,
@@ -132,6 +194,8 @@ TraceSim::runDynamic(const trace::WorkloadTrace &trace)
     // migration budget as StarNUMA gets.
     core::PerfectPagePolicy perfect(setup.sys.sockets,
                                     mig_cfg.migrationLimitPages);
+    if (!star && spanPages > 0)
+        perfect.preallocate(spanLo, spanPages);
 
     std::vector<std::size_t> cursor(trace.threads, 0);
     std::vector<core::RegionMigration> pending_regions;
@@ -162,12 +226,24 @@ TraceSim::runDynamic(const trace::WorkloadTrace &trace)
             std::size_t &i = cursor[t];
             while (i < recs.size() && recs[i].instr <= phase_end) {
                 PageNum page = pageNumber(recs[i].vaddr());
+                // Consecutive records to the same page replay as
+                // one batch: the page is mapped and TLB-resident
+                // after the first access, so the remainder are
+                // pure counter updates (identical results).
+                std::size_t j = i + 1;
+                while (j < recs.size() &&
+                       recs[j].instr <= phase_end &&
+                       pageNumber(recs[j].vaddr()) == page)
+                    ++j;
+                std::uint64_t run = j - i;
                 pm.touch(page, socket);
                 if (star)
-                    tlbs[t].recordAccess(recs[i].vaddr());
+                    tlbs[t].recordAccessRun(recs[i].vaddr(), run);
                 else
-                    perfect.recordAccess(page, socket);
-                ++i;
+                    perfect.recordAccess(
+                        page, socket,
+                        static_cast<std::uint32_t>(run));
+                i = j;
             }
         }
 
@@ -233,13 +309,36 @@ TraceSim::runStaticOracle(const trace::WorkloadTrace &trace)
                    setup.sys.poolCapacityFraction)
              : 0;
 
+    PageNum spanLo{0}, spanHi{0};
+    std::uint64_t spanPages = 0;
+    if (pageSpan(trace, spanLo, spanHi)) {
+        std::uint64_t span = spanHi.value() - spanLo.value() + 1;
+        if (span <= result.footprintPages + 1024)
+            spanPages = span;
+    }
+
     // A priori knowledge: feed the whole run into the oracle.
     core::OraclePlacement oracle(setup.sys.sockets);
-    for (ThreadId t = 0; t < trace.threads; ++t)
-        for (const auto &r : trace.perThread[t])
-            oracle.recordAccess(pageNumber(r.vaddr()), socketOf(t));
+    if (spanPages > 0)
+        oracle.preallocate(spanLo, spanPages);
+    for (ThreadId t = 0; t < trace.threads; ++t) {
+        const auto &recs = trace.perThread[t];
+        NodeId socket = socketOf(t);
+        for (std::size_t i = 0; i < recs.size();) {
+            PageNum page = pageNumber(recs[i].vaddr());
+            std::size_t j = i + 1;
+            while (j < recs.size() &&
+                   pageNumber(recs[j].vaddr()) == page)
+                ++j;
+            oracle.recordAccess(
+                page, socket, static_cast<std::uint32_t>(j - i));
+            i = j;
+        }
+    }
 
     mem::PageMap pm(nodes);
+    if (spanPages > 0)
+        pm.preallocate(spanLo, spanPages);
     // Pages only touched during setup fall back to first touch.
     for (const auto &ft : trace.firstTouches)
         pm.touch(ft.page, socketOf(ft.thread));
@@ -260,22 +359,57 @@ TraceSim::runStaticOracle(const trace::WorkloadTrace &trace)
 namespace
 {
 
-constexpr std::uint64_t checkpointMagic = 0x53544152434b5031ULL;
+// Checkpoint artifact format v2 ("STARCKP2"): varint/delta coded
+// with the trace/columnar.hh primitives. Collections are written in
+// sorted page order so artifacts stay byte-identical across runs.
+constexpr std::uint64_t checkpointMagic = 0x53544152434b5032ULL;
 
-bool
-put(std::FILE *f, const void *p, std::size_t n)
+void
+putDouble(std::vector<std::uint8_t> &out, double v)
 {
-    if (n == 0)
-        return true; // empty vectors have a null data()
-    return std::fwrite(p, 1, n, f) == n;
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, 8);
+    for (int i = 0; i < 8; ++i)
+        out.push_back(
+            static_cast<std::uint8_t>(bits >> (8 * i)));
 }
 
 bool
-get(std::FILE *f, void *p, std::size_t n)
+getDouble(trace::ByteReader &r, double &v)
 {
-    if (n == 0)
-        return true;
-    return std::fread(p, 1, n, f) == n;
+    std::uint8_t raw[8];
+    if (!r.getBytes(raw, 8))
+        return false;
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i)
+        bits |= static_cast<std::uint64_t>(raw[i]) << (8 * i);
+    std::memcpy(&v, &bits, 8);
+    return true;
+}
+
+PageNum
+pageOf(const std::pair<PageNum, NodeId> &kv)
+{
+    return kv.first;
+}
+
+PageNum
+pageOf(PageNum page)
+{
+    return page;
+}
+
+/** Sorted copy of the pages in a flat page set/map. */
+template <typename Pages>
+std::vector<PageNum>
+sortedPages(const Pages &source)
+{
+    std::vector<PageNum> out;
+    out.reserve(source.size());
+    for (const auto &entry : source)
+        out.push_back(pageOf(entry));
+    std::sort(out.begin(), out.end());
+    return out;
 }
 
 } // anonymous namespace
@@ -283,49 +417,67 @@ get(std::FILE *f, void *p, std::size_t n)
 bool
 TraceSimResult::save(const std::string &path) const
 {
+    using trace::putVarint;
+    using trace::zigzag;
+
+    std::vector<std::uint8_t> buf;
+    putVarint(buf, checkpointMagic);
+    putVarint(buf, checkpoints.size());
+    putVarint(buf, poolCapacityPages);
+    putVarint(buf, footprintPages);
+    putVarint(buf, migratedRegions);
+    putVarint(buf, migratedPagesTotal);
+    putVarint(buf, victimEvictions);
+    putVarint(buf, pingPongSuppressed);
+    putVarint(buf, pagesInPool);
+    putDouble(buf, poolMigrationFraction);
+    for (const Checkpoint &cp : checkpoints) {
+        putVarint(buf, cp.pageHome.size());
+        std::vector<PageNum> sorted = sortedPages(cp.pageHome);
+        std::uint64_t prev = 0;
+        for (PageNum page : sorted) {
+            putVarint(buf, page.value() - prev);
+            prev = page.value();
+            putVarint(buf, zigzag(cp.pageHome.at(page)));
+        }
+        putVarint(buf, cp.regionMigrations.size());
+        std::uint64_t prev_region = 0;
+        for (const core::RegionMigration &m :
+             cp.regionMigrations) {
+            putVarint(buf,
+                      zigzag(static_cast<std::int64_t>(
+                          m.region - prev_region)));
+            prev_region = m.region;
+            putVarint(buf, zigzag(m.from));
+            putVarint(buf, zigzag(m.to));
+            buf.push_back(m.victimEviction ? 1 : 0);
+        }
+        putVarint(buf, cp.pageMigrations.size());
+        std::uint64_t prev_page = 0;
+        for (const core::PageMigration &m : cp.pageMigrations) {
+            putVarint(buf,
+                      zigzag(static_cast<std::int64_t>(
+                          m.page.value() - prev_page)));
+            prev_page = m.page.value();
+            putVarint(buf, zigzag(m.from));
+            putVarint(buf, zigzag(m.to));
+        }
+    }
+    putVarint(buf, replication.replicated.size());
+    std::vector<PageNum> rep =
+        sortedPages(replication.replicated);
+    std::uint64_t prev = 0;
+    for (PageNum page : rep) {
+        putVarint(buf, page.value() - prev);
+        prev = page.value();
+    }
+    putDouble(buf, replication.capacityOverhead);
+
     std::FILE *f = std::fopen(path.c_str(), "wb");
     if (!f)
         return false;
-    bool ok = put(f, &checkpointMagic, 8);
-    std::uint64_t scalars[] = {
-        checkpoints.size(),   poolCapacityPages,
-        footprintPages,       migratedRegions,
-        migratedPagesTotal,   victimEvictions,
-        pingPongSuppressed,   pagesInPool};
-    ok = ok && put(f, scalars, sizeof(scalars));
-    ok = ok && put(f, &poolMigrationFraction, 8);
-    for (const Checkpoint &cp : checkpoints) {
-        std::uint64_t n = cp.pageHome.size();
-        ok = ok && put(f, &n, 8);
-        // Serialize in page order so saved results are
-        // byte-identical across runs (hash order is not).
-        std::vector<PageNum> sorted_pages;
-        sorted_pages.reserve(cp.pageHome.size());
-        for (const auto &[page, home] :
-             cp.pageHome) // lint: order-independent
-            sorted_pages.push_back(page);
-        std::sort(sorted_pages.begin(), sorted_pages.end());
-        for (PageNum page : sorted_pages) {
-            std::int64_t h = cp.pageHome.at(page);
-            ok = ok && put(f, &page, 8) && put(f, &h, 8);
-        }
-        n = cp.regionMigrations.size();
-        ok = ok && put(f, &n, 8);
-        ok = ok && put(f, cp.regionMigrations.data(),
-                       n * sizeof(core::RegionMigration));
-        n = cp.pageMigrations.size();
-        ok = ok && put(f, &n, 8);
-        ok = ok && put(f, cp.pageMigrations.data(),
-                       n * sizeof(core::PageMigration));
-    }
-    std::uint64_t n_rep = replication.replicated.size();
-    ok = ok && put(f, &n_rep, 8);
-    std::vector<PageNum> sorted_rep(replication.replicated.begin(),
-                                    replication.replicated.end());
-    std::sort(sorted_rep.begin(), sorted_rep.end());
-    for (PageNum page : sorted_rep)
-        ok = ok && put(f, &page, 8);
-    ok = ok && put(f, &replication.capacityOverhead, 8);
+    bool ok =
+        std::fwrite(buf.data(), 1, buf.size(), f) == buf.size();
     std::fclose(f);
     return ok;
 }
@@ -333,60 +485,100 @@ TraceSimResult::save(const std::string &path) const
 bool
 TraceSimResult::load(const std::string &path)
 {
+    using trace::unzigzag;
+
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
         return false;
-    std::uint64_t magic = 0;
-    bool ok = get(f, &magic, 8) && magic == checkpointMagic;
-    std::uint64_t scalars[8] = {};
-    ok = ok && get(f, scalars, sizeof(scalars));
-    ok = ok && get(f, &poolMigrationFraction, 8);
-    if (ok) {
-        poolCapacityPages = scalars[1];
-        footprintPages = scalars[2];
-        migratedRegions = scalars[3];
-        migratedPagesTotal = scalars[4];
-        victimEvictions = scalars[5];
-        pingPongSuppressed = scalars[6];
-        pagesInPool = scalars[7];
-        checkpoints.assign(scalars[0], {});
-    }
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<std::uint8_t> buf(size > 0 ? size : 0);
+    bool ok = size >= 0 &&
+              std::fread(buf.data(), 1, buf.size(), f) ==
+                  buf.size();
+    std::fclose(f);
+    if (!ok)
+        return false;
+
+    trace::ByteReader r(buf.data(), buf.size());
+    std::uint64_t magic = 0, n_cp = 0;
+    if (!r.getVarint(magic) || magic != checkpointMagic ||
+        !r.getVarint(n_cp))
+        return false;
+    std::uint64_t scalars[7] = {};
+    for (std::uint64_t &s : scalars)
+        if (!r.getVarint(s))
+            return false;
+    poolCapacityPages = scalars[0];
+    footprintPages = scalars[1];
+    migratedRegions = scalars[2];
+    migratedPagesTotal = scalars[3];
+    victimEvictions = scalars[4];
+    pingPongSuppressed = scalars[5];
+    pagesInPool = scalars[6];
+    if (!getDouble(r, poolMigrationFraction))
+        return false;
+    if (n_cp > r.remaining())
+        return false; // implausible count: refuse to allocate
+    checkpoints.assign(n_cp, {});
     for (Checkpoint &cp : checkpoints) {
-        if (!ok)
-            break;
         std::uint64_t n = 0;
-        ok = ok && get(f, &n, 8);
+        if (!r.getVarint(n) || n > r.remaining())
+            return false;
         cp.pageHome.reserve(n);
-        for (std::uint64_t i = 0; ok && i < n; ++i) {
-            PageNum page;
-            std::int64_t h = 0;
-            ok = get(f, &page, 8) && get(f, &h, 8);
-            cp.pageHome[page] = static_cast<NodeId>(h);
+        std::uint64_t page = 0;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::uint64_t delta = 0, home = 0;
+            if (!r.getVarint(delta) || !r.getVarint(home))
+                return false;
+            page += delta;
+            cp.pageHome[PageNum(page)] =
+                static_cast<NodeId>(unzigzag(home));
         }
-        ok = ok && get(f, &n, 8);
-        if (ok) {
-            cp.regionMigrations.resize(n);
-            ok = get(f, cp.regionMigrations.data(),
-                     n * sizeof(core::RegionMigration));
+        if (!r.getVarint(n) || n > r.remaining())
+            return false;
+        cp.regionMigrations.reserve(n);
+        std::uint64_t region = 0;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::uint64_t delta = 0, from = 0, to = 0;
+            std::uint8_t victim = 0;
+            if (!r.getVarint(delta) || !r.getVarint(from) ||
+                !r.getVarint(to) || !r.getBytes(&victim, 1))
+                return false;
+            region += static_cast<std::uint64_t>(unzigzag(delta));
+            cp.regionMigrations.push_back(
+                {region, static_cast<NodeId>(unzigzag(from)),
+                 static_cast<NodeId>(unzigzag(to)), victim != 0});
         }
-        ok = ok && get(f, &n, 8);
-        if (ok) {
-            cp.pageMigrations.resize(n);
-            ok = get(f, cp.pageMigrations.data(),
-                     n * sizeof(core::PageMigration));
+        if (!r.getVarint(n) || n > r.remaining())
+            return false;
+        cp.pageMigrations.reserve(n);
+        page = 0;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::uint64_t delta = 0, from = 0, to = 0;
+            if (!r.getVarint(delta) || !r.getVarint(from) ||
+                !r.getVarint(to))
+                return false;
+            page += static_cast<std::uint64_t>(unzigzag(delta));
+            cp.pageMigrations.push_back(
+                {PageNum(page), static_cast<NodeId>(unzigzag(from)),
+                 static_cast<NodeId>(unzigzag(to))});
         }
     }
     std::uint64_t n_rep = 0;
-    ok = ok && get(f, &n_rep, 8);
+    if (!r.getVarint(n_rep) || n_rep > r.remaining())
+        return false;
     replication.replicated.clear();
-    for (std::uint64_t i = 0; ok && i < n_rep; ++i) {
-        PageNum page;
-        ok = get(f, &page, 8);
-        replication.replicated.insert(page);
+    std::uint64_t page = 0;
+    for (std::uint64_t i = 0; i < n_rep; ++i) {
+        std::uint64_t delta = 0;
+        if (!r.getVarint(delta))
+            return false;
+        page += delta;
+        replication.replicated.insert(PageNum(page));
     }
-    ok = ok && get(f, &replication.capacityOverhead, 8);
-    std::fclose(f);
-    return ok;
+    return getDouble(r, replication.capacityOverhead);
 }
 
 } // namespace driver

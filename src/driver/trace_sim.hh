@@ -13,13 +13,13 @@
 #define STARNUMA_DRIVER_TRACE_SIM_HH
 
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/migration.hh"
 #include "core/perfect_policy.hh"
 #include "core/replication.hh"
 #include "driver/system_setup.hh"
+#include "sim/flat_map.hh"
 #include "sim/obs/registry.hh"
 #include "sim/scale.hh"
 #include "trace/trace.hh"
@@ -33,7 +33,7 @@ namespace driver
 struct Checkpoint
 {
     /** Page -> home node at the start of the phase. */
-    std::unordered_map<PageNum, NodeId> pageHome;
+    FlatMap<PageNum, NodeId> pageHome;
 
     /** Region migrations occurring during this phase (StarNUMA). */
     std::vector<core::RegionMigration> regionMigrations;
@@ -79,8 +79,10 @@ struct TraceSimResult
 
     /**
      * Serialize the checkpoints (step B's output artifact, §IV-A2)
-     * so timing simulations can run later or elsewhere.
-     * @return false on IO error.
+     * so timing simulations can run later or elsewhere. Format v2:
+     * varint/delta coded (trace/columnar.hh primitives), written in
+     * sorted page order so artifacts are byte-identical across
+     * runs. @return false on IO error.
      */
     bool save(const std::string &path) const;
 

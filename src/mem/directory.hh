@@ -18,8 +18,8 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 
+#include "sim/flat_map.hh"
 #include "sim/types.hh"
 
 namespace starnuma
@@ -107,7 +107,7 @@ class Directory
 
     int sockets;
     NodeId poolNode;
-    std::unordered_map<Addr, Entry> entries;
+    FlatMap<Addr, Entry> entries;
     std::uint64_t transactions_;
     std::uint64_t blockTransfers_;
     std::uint64_t poolTransfers_;

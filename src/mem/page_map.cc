@@ -12,15 +12,20 @@ PageMap::PageMap(int nodes) : counts(nodes, 0), firstTouch(0)
     sn_assert(nodes > 0, "page map needs at least one node");
 }
 
-NodeId
-PageMap::home(PageNum page) const
+void
+PageMap::preallocate(PageNum base, std::uint64_t pages)
 {
-    auto it = map.find(page);
-    return it == map.end() ? invalidNode : it->second;
+    sn_assert(map.empty() && flat.empty(),
+              "preallocate before mapping any page");
+    if (pages == 0)
+        return;
+    flatBase = base;
+    flat.assign(pages, invalidNode);
+    order.reserve(pages);
 }
 
 NodeId
-PageMap::touch(PageNum page, NodeId toucher)
+PageMap::touchMapped(PageNum page, NodeId toucher)
 {
     auto [it, inserted] = map.try_emplace(page, toucher);
     if (inserted) {
@@ -39,12 +44,21 @@ PageMap::setHome(PageNum page, NodeId node)
     sn_assert(node >= 0 &&
                   static_cast<std::size_t>(node) < counts.size(),
               "migrating page to unknown node %d", node);
-    auto it = map.find(page);
-    if (it == map.end()) {
-        map.emplace(page, node);
+    if (flat.empty()) {
+        auto it = map.find(page);
+        if (it == map.end()) {
+            map.emplace(page, node);
+        } else {
+            --counts[it->second];
+            it->second = node;
+        }
     } else {
-        --counts[it->second];
-        it->second = node;
+        NodeId &h = flat[flatSlot(page)];
+        if (h == invalidNode)
+            order.push_back(page);
+        else
+            --counts[h];
+        h = node;
     }
     ++counts[node];
 }

@@ -65,6 +65,12 @@ CaptureContext::take(const std::string &workload,
     t.threads = threads();
     t.instructionsPerThread = instructions_per_thread;
     t.footprintBytes = footprint();
+    if (nextAddr > baseAddr) {
+        // The bump allocator spans one contiguous page range;
+        // every access and first touch falls inside it.
+        t.minPage = pageNumber(baseAddr);
+        t.maxPage = pageNumber(nextAddr - 1);
+    }
     t.firstTouches = std::move(firstTouches);
     // Sorted so captured traces are byte-identical across runs
     // (the set's hash order is not).

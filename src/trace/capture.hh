@@ -21,11 +21,10 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "mem/cache.hh"
+#include "sim/flat_map.hh"
 #include "sim/types.hh"
 #include "trace/trace.hh"
 
@@ -112,8 +111,8 @@ class CaptureContext
     static constexpr Addr baseAddr = 0x10000000;
 
     std::vector<ThreadState> state;
-    std::unordered_set<PageNum> written;
-    std::unordered_map<PageNum, ThreadId> touched;
+    FlatSet<PageNum> written;
+    FlatMap<PageNum, ThreadId> touched;
     std::vector<FirstTouch> firstTouches;
     Addr nextAddr;
     bool inSetup;

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Columnar binary trace format v2 (DESIGN.md §12). Step-A captures
+ * are stored SoA: per thread, three parallel columns — delta-
+ * encoded varint instruction counts, zigzag-delta varint addresses,
+ * and a packed write-flag bitmap — instead of v1's array of 16-byte
+ * records. Deltas between consecutive accesses of one thread are
+ * small (instruction counts are nondecreasing, addresses exhibit
+ * spatial locality), so the varints land in one or two bytes and
+ * the cache files shrink several-fold.
+ *
+ * The decoder is fully bounds-checked: truncated files, corrupt
+ * varints, impossible counts, and unknown versions all return
+ * failure — never undefined behaviour (fuzzed in
+ * tests/columnar_trace_test.cc under ASan).
+ *
+ * The varint primitives are exposed because the step-B checkpoint
+ * serialization (driver/trace_sim.cc) shares them.
+ */
+
+#ifndef STARNUMA_TRACE_COLUMNAR_HH
+#define STARNUMA_TRACE_COLUMNAR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace starnuma
+{
+namespace trace
+{
+
+/** LEB128 append of @p v to @p out (1-10 bytes). */
+inline void
+putVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/** Map signed to unsigned so small magnitudes stay small. */
+inline std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+}
+
+/** Bounds-checked cursor over an encoded byte buffer. */
+class ByteReader
+{
+  public:
+    ByteReader(const std::uint8_t *data, std::size_t size)
+        : p(data), end(data + size)
+    {
+    }
+
+    std::size_t remaining() const
+    {
+        return static_cast<std::size_t>(end - p);
+    }
+
+    /** @return false on truncation or an over-long varint. */
+    bool
+    getVarint(std::uint64_t &v)
+    {
+        v = 0;
+        for (int shift = 0; shift < 64; shift += 7) {
+            if (p == end)
+                return false;
+            std::uint8_t byte = *p++;
+            v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+            if (!(byte & 0x80))
+                return true;
+        }
+        return false; // > 10 bytes: corrupt
+    }
+
+    bool
+    getBytes(void *dst, std::size_t n)
+    {
+        if (remaining() < n)
+            return false;
+        std::uint8_t *out = static_cast<std::uint8_t *>(dst);
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = p[i];
+        p += n;
+        return true;
+    }
+
+  private:
+    const std::uint8_t *p;
+    const std::uint8_t *end;
+};
+
+/** Serialize @p t into the columnar v2 byte layout. */
+std::vector<std::uint8_t> encodeColumnar(const WorkloadTrace &t);
+
+/**
+ * Decode a columnar v2 buffer into @p out.
+ * @return false on any structural error (and @p out is unspecified).
+ */
+bool decodeColumnar(const std::uint8_t *data, std::size_t size,
+                    WorkloadTrace &out);
+
+/** encodeColumnar to a file. @return false on IO error. */
+bool saveColumnar(const WorkloadTrace &t, const std::string &path);
+
+/** Read + decodeColumnar a file. @return false on error. */
+bool loadColumnar(WorkloadTrace &t, const std::string &path);
+
+} // namespace trace
+} // namespace starnuma
+
+#endif // STARNUMA_TRACE_COLUMNAR_HH

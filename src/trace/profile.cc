@@ -1,8 +1,8 @@
 #include "trace/profile.hh"
 
 #include <bit>
-#include <unordered_map>
 
+#include "sim/flat_map.hh"
 #include "sim/logging.hh"
 
 namespace starnuma
@@ -26,7 +26,7 @@ SharingProfile::SharingProfile(const WorkloadTrace &trace,
         std::uint64_t accesses = 0;
         bool written = false;
     };
-    std::unordered_map<PageNum, PageInfo> pages;
+    FlatMap<PageNum, PageInfo> pages;
 
     for (int t = 0; t < trace.threads; ++t) {
         NodeId socket = t / cores_per_socket;

@@ -64,6 +64,16 @@ struct WorkloadTrace
     std::vector<FirstTouch> firstTouches;
 
     /**
+     * Inclusive page span covering every record and first touch.
+     * The capture bump allocator hands out one contiguous address
+     * range, so replay can preallocate flat page tables over it.
+     * Both zero means unknown (hand-built traces); replay then
+     * derives the span with a linear scan.
+     */
+    PageNum minPage{0};
+    PageNum maxPage{0};
+
+    /**
      * Page numbers written at least once during the run (tracked
      * independently of the filter, so stores that hit the capture
      * filter still mark their page read-write).
@@ -86,10 +96,17 @@ struct WorkloadTrace
 /** Resolve the trace cache directory (created on demand). */
 std::string traceCacheDir();
 
+// Columnar v2 cache files (trace/columnar.hh; declared here so the
+// cached() template below needs no extra include).
+bool saveColumnar(const WorkloadTrace &t, const std::string &path);
+bool loadColumnar(WorkloadTrace &t, const std::string &path);
+
 /**
  * Load @p trace from the cache directory if a file for @p key
  * exists, else invoke @p generate and save the result. The cache
  * directory comes from STARNUMA_TRACE_DIR (empty disables caching).
+ * Cache files use the columnar v2 format (".ctrace"); stale v1
+ * ".trace" files are simply never read again.
  */
 template <typename Fn>
 WorkloadTrace
@@ -98,12 +115,12 @@ cached(const std::string &key, Fn &&generate)
     std::string dir = traceCacheDir();
     if (dir.empty())
         return generate();
-    std::string path = dir + "/" + key + ".trace";
+    std::string path = dir + "/" + key + ".ctrace";
     WorkloadTrace t;
-    if (t.load(path))
+    if (loadColumnar(t, path))
         return t;
     t = generate();
-    t.save(path);
+    saveColumnar(t, path);
     return t;
 }
 

@@ -79,7 +79,7 @@ TEST(TraceCache, CachedGeneratesOnceThenLoads)
     std::string dir = ::testing::TempDir() + "trace_cache_test";
     setenv("STARNUMA_TRACE_DIR", dir.c_str(), 1);
     // TempDir persists across test runs: start from a clean slate.
-    std::remove((dir + "/coverage-key.trace").c_str());
+    std::remove((dir + "/coverage-key.ctrace").c_str());
     int generated = 0;
     auto gen = [&] {
         ++generated;

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Differential test harness for the flat hash containers
+ * (sim/flat_map.hh): every operation of a long randomized sequence
+ * is mirrored against the std::unordered_map/set oracle and the two
+ * containers are cross-checked, plus directed cases for the edges
+ * the fuzz loop reaches rarely — tombstone churn, rehash during
+ * iteration-order checks, erase(iterator) validity, and the
+ * insertion-order contract lint rule D1 relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/flat_map.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace starnuma
+{
+namespace
+{
+
+using Oracle = std::unordered_map<std::uint64_t, std::uint64_t>;
+using Flat = FlatMap<std::uint64_t, std::uint64_t>;
+
+/** Full cross-check: same size, same pairs, both directions. */
+void
+expectEqual(const Flat &flat, const Oracle &oracle)
+{
+    ASSERT_EQ(flat.size(), oracle.size());
+    for (const auto &[k, v] : oracle) {
+        auto it = flat.find(k);
+        ASSERT_NE(it, flat.end()) << "oracle key " << k
+                                  << " missing from FlatMap";
+        EXPECT_EQ(it->second, v) << "value mismatch for key " << k;
+    }
+    std::size_t seen = 0;
+    for (const auto &[k, v] : flat) {
+        auto it = oracle.find(k);
+        ASSERT_NE(it, oracle.end())
+            << "FlatMap key " << k << " missing from oracle";
+        EXPECT_EQ(it->second, v);
+        ++seen;
+    }
+    EXPECT_EQ(seen, flat.size());
+}
+
+/**
+ * ~1e6 randomized operations mirrored against the oracle. Narrow
+ * key ranges force collisions, erase/re-insert cycles, and
+ * tombstone-triggered rebuilds; periodic full cross-checks catch
+ * any divergence close to the operation that caused it.
+ */
+TEST(FlatMapDifferential, RandomizedOpsMatchUnorderedMap)
+{
+    struct Band
+    {
+        std::uint64_t range; // key space width
+        std::uint64_t base;  // key space offset
+    };
+    // Dense-from-zero (page-number-like), offset dense, and sparse
+    // 64-bit keys exercise different probe patterns.
+    const Band bands[] = {
+        {512, 0},
+        {4096, 0x10000000 / 4096},
+        {~std::uint64_t(0), 0},
+    };
+    for (const Band &band : bands) {
+        Rng rng(taskSeed({"flat_map_diff"}, band.range));
+        Flat flat;
+        Oracle oracle;
+        const int ops = 350000;
+        for (int op = 0; op < ops; ++op) {
+            std::uint64_t key =
+                band.base + (band.range == ~std::uint64_t(0)
+                                 ? rng.next64()
+                                 : rng.next64() % band.range);
+            switch (rng.range32(10)) {
+            case 0:
+            case 1:
+            case 2: { // try_emplace
+                auto [fit, finserted] =
+                    flat.try_emplace(key, op);
+                auto [oit, oinserted] = oracle.try_emplace(
+                    key, static_cast<std::uint64_t>(op));
+                EXPECT_EQ(finserted, oinserted);
+                EXPECT_EQ(fit->second, oit->second);
+                break;
+            }
+            case 3: { // operator[] (insert or overwrite)
+                flat[key] = op;
+                oracle[key] = op;
+                break;
+            }
+            case 4: { // insert (pair)
+                auto f = flat.insert(
+                    {key, static_cast<std::uint64_t>(op)});
+                auto o = oracle.insert(
+                    {key, static_cast<std::uint64_t>(op)});
+                EXPECT_EQ(f.second, o.second);
+                break;
+            }
+            case 5:
+            case 6: { // erase by key
+                EXPECT_EQ(flat.erase(key), oracle.erase(key));
+                break;
+            }
+            case 7: { // find + contains + count
+                auto fit = flat.find(key);
+                auto oit = oracle.find(key);
+                EXPECT_EQ(fit == flat.end(),
+                          oit == oracle.end());
+                if (oit != oracle.end()) {
+                    EXPECT_EQ(fit->second, oit->second);
+                }
+                EXPECT_EQ(flat.contains(key),
+                          oracle.count(key) == 1);
+                EXPECT_EQ(flat.count(key), oracle.count(key));
+                break;
+            }
+            case 8: { // at() on a key known to exist
+                if (!oracle.empty()) {
+                    std::uint64_t k = oracle.begin()->first;
+                    EXPECT_EQ(flat.at(k), oracle.at(k));
+                }
+                break;
+            }
+            case 9: { // rare structural ops
+                if (rng.range32(1000) == 0) {
+                    flat.clear();
+                    oracle.clear();
+                } else if (rng.range32(100) == 0) {
+                    flat.reserve(flat.size() +
+                                 rng.range32(1000));
+                }
+                break;
+            }
+            }
+            EXPECT_EQ(flat.size(), oracle.size());
+            EXPECT_EQ(flat.empty(), oracle.empty());
+            if (op % 25000 == 0)
+                expectEqual(flat, oracle);
+        }
+        expectEqual(flat, oracle);
+    }
+}
+
+/** FlatSet mirrored against std::unordered_set. */
+TEST(FlatMapDifferential, RandomizedSetOpsMatchUnorderedSet)
+{
+    Rng rng(taskSeed({"flat_set_diff"}));
+    FlatSet<std::uint64_t> flat;
+    std::unordered_set<std::uint64_t> oracle;
+    for (int op = 0; op < 200000; ++op) {
+        std::uint64_t key = rng.next64() % 2048;
+        switch (rng.range32(4)) {
+        case 0:
+        case 1: {
+            auto [it, inserted] = flat.insert(key);
+            EXPECT_EQ(inserted, oracle.insert(key).second);
+            EXPECT_EQ(*it, key);
+            break;
+        }
+        case 2:
+            EXPECT_EQ(flat.erase(key), oracle.erase(key));
+            break;
+        case 3:
+            EXPECT_EQ(flat.contains(key),
+                      oracle.count(key) == 1);
+            EXPECT_EQ(flat.find(key) == flat.end(),
+                      oracle.find(key) == oracle.end());
+            break;
+        }
+        EXPECT_EQ(flat.size(), oracle.size());
+    }
+    for (std::uint64_t k : flat)
+        EXPECT_TRUE(oracle.count(k) == 1);
+    for (std::uint64_t k : oracle)
+        EXPECT_TRUE(flat.contains(k));
+}
+
+/** Strong-type keys (the map's primary use) behave identically. */
+TEST(FlatMapDifferential, StrongTypedKeys)
+{
+    FlatMap<PageNum, int> flat;
+    std::unordered_map<std::uint64_t, int> oracle;
+    Rng rng(taskSeed({"flat_map_strong"}));
+    for (int op = 0; op < 50000; ++op) {
+        std::uint64_t raw = rng.next64() % 1024;
+        if (rng.range32(3) == 0) {
+            EXPECT_EQ(flat.erase(PageNum(raw)),
+                      oracle.erase(raw));
+        } else {
+            flat[PageNum(raw)] = op;
+            oracle[raw] = op;
+        }
+    }
+    ASSERT_EQ(flat.size(), oracle.size());
+    for (const auto &[k, v] : oracle)
+        EXPECT_EQ(flat.at(PageNum(k)), v);
+}
+
+// --- Insertion-order contract (what lint rule D1 relies on) ---
+
+TEST(FlatMapOrder, IterationFollowsInsertionOrder)
+{
+    FlatMap<std::uint64_t, int> m;
+    std::vector<std::uint64_t> inserted;
+    Rng rng(taskSeed({"flat_map_order"}));
+    while (inserted.size() < 1000) {
+        std::uint64_t k = rng.next64();
+        if (m.try_emplace(k, 0).second)
+            inserted.push_back(k);
+    }
+    std::size_t i = 0;
+    for (const auto &[k, v] : m)
+        EXPECT_EQ(k, inserted[i++]);
+    EXPECT_EQ(i, inserted.size());
+}
+
+TEST(FlatMapOrder, OrderSurvivesEraseAndRehash)
+{
+    FlatMap<std::uint64_t, int> m;
+    // Insert 0..999, erase the odd keys, then insert 1000..1999:
+    // the growth rebuild drops tombstones but must preserve the
+    // relative order of survivors.
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        m.try_emplace(k, 1);
+    for (std::uint64_t k = 1; k < 1000; k += 2)
+        m.erase(k);
+    for (std::uint64_t k = 1000; k < 2000; ++k)
+        m.try_emplace(k, 2);
+    std::vector<std::uint64_t> expect;
+    for (std::uint64_t k = 0; k < 1000; k += 2)
+        expect.push_back(k);
+    for (std::uint64_t k = 1000; k < 2000; ++k)
+        expect.push_back(k);
+    std::size_t i = 0;
+    for (const auto &[k, v] : m) {
+        ASSERT_LT(i, expect.size());
+        EXPECT_EQ(k, expect[i++]);
+    }
+    EXPECT_EQ(i, expect.size());
+}
+
+TEST(FlatMapOrder, ReinsertedKeyMovesToEnd)
+{
+    FlatMap<std::uint64_t, int> m;
+    m.try_emplace(1, 1);
+    m.try_emplace(2, 2);
+    m.try_emplace(3, 3);
+    m.erase(std::uint64_t(1));
+    m.try_emplace(1, 10); // re-insert: now youngest
+    std::vector<std::uint64_t> keys;
+    for (const auto &[k, v] : m)
+        keys.push_back(k);
+    EXPECT_EQ(keys, (std::vector<std::uint64_t>{2, 3, 1}));
+}
+
+// --- Tombstone / erase mechanics ---
+
+TEST(FlatMapTombstones, ChurnOnSmallKeySetStaysCorrect)
+{
+    // Insert/erase cycles over a tiny key set never let live_
+    // grow, so only the tombstone rule can trigger rebuilds.
+    FlatMap<std::uint64_t, int> m;
+    Rng rng(taskSeed({"flat_map_churn"}));
+    std::unordered_map<std::uint64_t, int> oracle;
+    for (int round = 0; round < 20000; ++round) {
+        std::uint64_t k = rng.next64() % 8;
+        if (oracle.count(k)) {
+            EXPECT_EQ(m.erase(k), 1u);
+            oracle.erase(k);
+        } else {
+            EXPECT_TRUE(m.try_emplace(k, round).second);
+            oracle[k] = round;
+        }
+        ASSERT_EQ(m.size(), oracle.size());
+    }
+    for (const auto &[k, v] : oracle)
+        EXPECT_EQ(m.at(k), v);
+}
+
+TEST(FlatMapTombstones, EraseIteratorReturnsNextLiveEntry)
+{
+    FlatMap<std::uint64_t, int> m;
+    for (std::uint64_t k = 0; k < 100; ++k)
+        m.try_emplace(k, static_cast<int>(k));
+    // Erase every key divisible by 3 via iterators.
+    for (auto it = m.begin(); it != m.end();) {
+        if (it->first % 3 == 0)
+            it = m.erase(it);
+        else
+            ++it;
+    }
+    EXPECT_EQ(m.size(), 66u);
+    std::uint64_t prev = 0;
+    for (const auto &[k, v] : m) {
+        EXPECT_NE(k % 3, 0u);
+        EXPECT_GE(k, prev); // ascending: insertion order kept
+        prev = k;
+    }
+}
+
+TEST(FlatMapTombstones, EraseAllThenReuse)
+{
+    FlatMap<std::uint64_t, int> m;
+    for (int cycle = 0; cycle < 50; ++cycle) {
+        for (std::uint64_t k = 0; k < 64; ++k)
+            m.try_emplace(k, cycle);
+        EXPECT_EQ(m.size(), 64u);
+        for (std::uint64_t k = 0; k < 64; ++k)
+            EXPECT_EQ(m.erase(k), 1u);
+        EXPECT_TRUE(m.empty());
+        EXPECT_EQ(m.begin(), m.end());
+    }
+}
+
+// --- Equality (order-insensitive, used by tests on results) ---
+
+TEST(FlatMapEquality, OrderInsensitiveComparison)
+{
+    FlatMap<std::uint64_t, int> a, b;
+    a.try_emplace(1, 10);
+    a.try_emplace(2, 20);
+    b.try_emplace(2, 20);
+    b.try_emplace(1, 10);
+    EXPECT_EQ(a, b);
+    b[1] = 11;
+    EXPECT_NE(a, b);
+    b[1] = 10;
+    b.try_emplace(3, 30);
+    EXPECT_NE(a, b);
+
+    FlatSet<int> s1, s2;
+    s1.insert(1);
+    s1.insert(2);
+    s2.insert(2);
+    s2.insert(1);
+    EXPECT_EQ(s1, s2);
+    s2.insert(3);
+    EXPECT_NE(s1, s2);
+}
+
+} // anonymous namespace
+} // namespace starnuma

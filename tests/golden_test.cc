@@ -15,9 +15,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "driver/sweep.hh"
+#include "driver/trace_sim.hh"
+#include "sim/obs/obs.hh"
+#include "sim/parallel.hh"
+#include "workloads/workload.hh"
 
 namespace starnuma
 {
@@ -117,6 +125,72 @@ TEST(Golden, Fig8SpeedupOrderingPinned)
         results[7].metrics.speedupOver(results[6].metrics);
     EXPECT_GT(sp_tc, sp_tpcc);
     EXPECT_GT(sp_tpcc, sp_fmi);
+}
+
+// --- Byte-stability of every exported artifact across pool sizes ---
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/**
+ * The step-B checkpoint file and the stats JSON/CSV exports must be
+ * byte-identical whether the pool runs 1, 4, or 8 worker threads —
+ * the determinism contract the flat-table replay path (DESIGN.md
+ * §12) and the canonical merge order both feed. A single changed
+ * byte here means some code path let thread scheduling leak into
+ * model output or artifact layout.
+ */
+TEST(Golden, ArtifactsByteIdenticalAcrossPoolSizes)
+{
+    SimScale s = SimScale::tiny();
+    // A real capture (not a synthetic trace) so replay takes the
+    // dense flat-table path that production runs use.
+    auto trace = workloads::makeWorkload("tc")->capture(s);
+    obs::StatsSink &sink = obs::StatsSink::global();
+    std::string ckpt_path =
+        testing::TempDir() + "golden_ckpt.bin";
+
+    struct Artifacts
+    {
+        std::string checkpoints;
+        std::string json;
+        std::string csv;
+    };
+    // TraceSim keeps a reference to the setup: it must outlive sim.
+    driver::SystemSetup setup = driver::SystemSetup::starnuma();
+    auto run = [&](int pool_size) {
+        ThreadPool::setGlobalThreads(pool_size);
+        sink.start("");
+        driver::TraceSim sim(setup, s);
+        auto result = sim.run(trace);
+        Artifacts a;
+        a.json = sink.collectJson();
+        a.csv = sink.collect().csv();
+        sink.stop();
+        EXPECT_TRUE(result.save(ckpt_path));
+        a.checkpoints = fileBytes(ckpt_path);
+        return a;
+    };
+
+    Artifacts serial = run(1);
+    EXPECT_GT(serial.checkpoints.size(), 0u);
+    EXPECT_GT(serial.json.size(), 2u);
+    EXPECT_GT(serial.csv.size(), serial.json.empty() ? 0u : 10u);
+    for (int pool_size : {4, 8}) {
+        SCOPED_TRACE("pool=" + std::to_string(pool_size));
+        Artifacts a = run(pool_size);
+        EXPECT_EQ(a.checkpoints, serial.checkpoints);
+        EXPECT_EQ(a.json, serial.json);
+        EXPECT_EQ(a.csv, serial.csv);
+    }
+    ThreadPool::setGlobalThreads(0);
+    std::remove(ckpt_path.c_str());
 }
 
 } // anonymous namespace

@@ -10,13 +10,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <numeric>
+#include <vector>
 
 #include "core/migration.hh"
 #include "core/region_tracker.hh"
 #include "core/tlb_annex.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
+#include "sim/arena.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 #include "topology/topology.hh"
@@ -328,6 +331,120 @@ TEST_P(WorkloadDeterminism, SameSeedSameTrace)
 INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadDeterminism,
                          ::testing::Values("bfs", "masstree",
                                            "tpcc", "poa"));
+
+// --- Arena (sim/arena.hh): the lifetime rules of DESIGN.md §12 ---
+
+class ArenaProperty : public ::testing::TestWithParam<int>
+{
+};
+
+/**
+ * Random allocation sequences: every returned pointer respects its
+ * requested alignment, lies inside the buffer, and never overlaps a
+ * previous live allocation (checked by filling each block with a
+ * distinct byte and re-verifying all blocks at the end).
+ */
+TEST_P(ArenaProperty, AlignedDisjointInBoundsAllocations)
+{
+    Rng rng(GetParam());
+    const std::size_t cap = 1 << 16;
+    Arena arena(cap);
+    struct Block
+    {
+        unsigned char *p;
+        std::size_t bytes;
+        unsigned char fill;
+    };
+    std::vector<Block> blocks;
+    for (int i = 0; i < 400; ++i) {
+        std::size_t bytes = rng.range32(300);
+        std::size_t align = std::size_t(1) << rng.range32(7);
+        auto *p = static_cast<unsigned char *>(
+            arena.allocate(bytes, align));
+        if (!p)
+            break; // exhausted; covered below
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u);
+        auto fill = static_cast<unsigned char>(i);
+        std::memset(p, fill, bytes);
+        blocks.push_back({p, bytes, fill});
+        EXPECT_LE(arena.used(), arena.capacity());
+        EXPECT_EQ(arena.remaining(),
+                  arena.capacity() - arena.used());
+    }
+    // No allocation clobbered an earlier one.
+    for (const Block &b : blocks)
+        for (std::size_t i = 0; i < b.bytes; ++i)
+            ASSERT_EQ(b.p[i], b.fill);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArenaProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+/** Exhaustion is reported via nullptr + a counter — never by
+ *  writing past the buffer or wrapping the bump offset. */
+TEST(ArenaProperty, ExhaustionReportedNotOverflowed)
+{
+    Arena arena(256);
+    void *a = arena.allocate(200, 1);
+    ASSERT_NE(a, nullptr);
+    std::memset(a, 0xab, 200);
+    std::size_t used_before = arena.used();
+
+    EXPECT_EQ(arena.allocate(100, 1), nullptr);
+    EXPECT_EQ(arena.exhaustions(), 1u);
+    EXPECT_EQ(arena.used(), used_before); // failed alloc is a no-op
+
+    // Pathological sizes must not wrap the offset arithmetic.
+    EXPECT_EQ(arena.allocate(~std::size_t(0), 1), nullptr);
+    EXPECT_EQ(arena.allocate(~std::size_t(0) - 64, 128), nullptr);
+    EXPECT_EQ(arena.allocArray<std::uint64_t>(~std::size_t(0) / 4),
+              nullptr);
+    EXPECT_EQ(arena.exhaustions(), 4u);
+
+    // The earlier allocation survived every refused request.
+    for (int i = 0; i < 200; ++i)
+        ASSERT_EQ(static_cast<unsigned char *>(a)[i], 0xab);
+
+    // What still fits is still granted.
+    EXPECT_NE(arena.allocate(arena.remaining(), 1), nullptr);
+    EXPECT_EQ(arena.remaining(), 0u);
+}
+
+/** reset() restores the full capacity and reuses the same buffer. */
+TEST(ArenaProperty, ResetRestoresFullCapacity)
+{
+    const std::size_t cap = 4096;
+    Arena arena(cap);
+    for (int cycle = 0; cycle < 10; ++cycle) {
+        void *whole = arena.allocate(cap, 1);
+        ASSERT_NE(whole, nullptr);
+        EXPECT_EQ(arena.used(), cap);
+        EXPECT_EQ(arena.allocate(1, 1), nullptr);
+        arena.reset();
+        EXPECT_EQ(arena.used(), 0u);
+        EXPECT_EQ(arena.remaining(), cap);
+    }
+    // Exhaustion count is lifetime, not per-cycle.
+    EXPECT_EQ(arena.exhaustions(), 10u);
+}
+
+/** allocArray zero-initializes even over recycled dirty memory. */
+TEST(ArenaProperty, AllocArrayZeroesRecycledMemory)
+{
+    Arena arena(1 << 12);
+    void *dirty = arena.allocate(1 << 12, 1);
+    ASSERT_NE(dirty, nullptr);
+    std::memset(dirty, 0xff, 1 << 12);
+    arena.reset();
+
+    auto *counters = arena.allocArray<std::uint32_t>(256);
+    ASSERT_NE(counters, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(counters) %
+                  alignof(std::uint32_t),
+              0u);
+    for (int i = 0; i < 256; ++i)
+        ASSERT_EQ(counters[i], 0u);
+}
 
 } // anonymous namespace
 } // namespace starnuma
