@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# Binary backstop for the D9 hot-path discipline (DESIGN.md §13).
+#
+# The source-level analyzer (scripts/starnuma_hotpath.py) reasons
+# over names and can be fooled by calls through function pointers,
+# operator call sites, or std:: methods it cannot see into. The
+# disassembly cannot: this script objdump-disassembles the built
+# test binary (which links every library) and verifies that no
+# hot-path symbol's main body contains a direct call to the
+# allocator, the exception machinery, or pthread mutex locking.
+#
+# Scope notes:
+#   * GCC's `[clone .cold]` sections are excluded — they hold the
+#     outlined sn_assert/panic paths, which are [[noreturn]]
+#     invariant failures and allowed on the hot path (D9's
+#     NORETURN_OK set).
+#   * TraceSim::runDynamic/runStaticOracle and decodeColumnar are
+#     covered by the analyzer but not checked here: their phase
+#     setup, checkpoint snapshots, and output sizing are line-level
+#     cold-path escapes that stay lexically inside the function, so
+#     their bodies legitimately contain allocator calls.
+#   * Indirect calls (`call *%rax`) carry no symbol and cannot be
+#     checked; the analyzer's over-approximation covers those.
+#
+# Usage: scripts/check_hotpath_syms.sh [build-dir]   (default: build)
+#
+# Exit status: 0 clean, 1 on banned calls or a missing manifest
+# symbol (a rename silently voiding the check must fail loudly).
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build}
+BIN="${BUILD_DIR}/tests/starnuma_tests"
+
+if [ ! -x "${BIN}" ]; then
+    echo "check-hotpath-syms: ${BIN} missing; building it" >&2
+    cmake -B "${BUILD_DIR}" -S . >/dev/null &&
+        cmake --build "${BUILD_DIR}" -j "$(nproc)" \
+              --target starnuma_tests >/dev/null || exit 1
+fi
+
+if ! command -v objdump >/dev/null 2>&1; then
+    echo "check-hotpath-syms: objdump not installed; skipping" \
+         "(binary backstop is advisory without binutils)" >&2
+    exit 0
+fi
+
+# The disassembly goes through a file: the heredoc below owns
+# python's stdin, so piping objdump into it would be silently lost.
+DIS=$(mktemp) || exit 1
+trap 'rm -f "${DIS}"' EXIT
+objdump -d -C "${BIN}" > "${DIS}" || exit 1
+
+python3 - "${BIN}" "${DIS}" <<'EOF'
+import re
+import sys
+
+# Demangled-name regexes of the hot-path symbols to audit. Every
+# entry must match at least one main-body symbol in the binary.
+MANIFEST = [
+    r"starnuma::driver::TraceSim::run\(",
+    r"starnuma::core::TlbAnnex::recordAccess\(",
+    r"starnuma::core::TlbAnnex::recordAccessRun\(",
+    r"starnuma::core::TlbDirectory::evict\(",
+    r"starnuma::core::TlbDirectory::shootdown\(",
+    r"starnuma::core::RegionTracker::record\(",
+    r"starnuma::core::PageAccessStats::record\(",
+    r"starnuma::mem::PageMap::touch\(",
+]
+
+# A call target starting with any of these is a hot-path violation.
+BANNED_PREFIXES = (
+    "operator new",
+    "__cxa_throw",
+    "__cxa_rethrow",
+    "__cxa_allocate_exception",
+    "pthread_mutex_lock",
+    "pthread_mutex_trylock",
+    "malloc",
+    "calloc",
+    "realloc",
+    "aligned_alloc",
+    "strdup",
+)
+
+SYM_HEAD = re.compile(r"^[0-9a-f]+ <(.+)>:$")
+CALL_TARGET = re.compile(r"\bcall\w*\s+[0-9a-f]+\s+<([^>]+)>")
+
+bodies = {}
+cur = None
+for line in open(sys.argv[2]):
+    m = SYM_HEAD.match(line)
+    if m:
+        cur = m.group(1)
+        bodies.setdefault(cur, [])
+        continue
+    if cur is not None and line.strip():
+        bodies[cur].append(line.rstrip("\n"))
+
+fail = False
+checked = 0
+for pat in MANIFEST:
+    rx = re.compile(pat)
+    syms = [s for s in bodies
+            if rx.search(s) and "[clone" not in s]
+    if not syms:
+        print("check-hotpath-syms: FAIL: no symbol matches /%s/ in "
+              "%s (renamed? add the new name to the manifest)"
+            % (pat, sys.argv[1]))
+        fail = True
+        continue
+    for sym in sorted(syms):
+        checked += 1
+        for insn in bodies[sym]:
+            m = CALL_TARGET.search(insn)
+            if not m:
+                continue
+            target = m.group(1)
+            for banned in BANNED_PREFIXES:
+                if target.startswith(banned):
+                    print("check-hotpath-syms: FAIL: hot symbol\n"
+                          "    %s\n  calls banned target\n    %s"
+                          % (sym, target))
+                    fail = True
+                    break
+
+print("check-hotpath-syms: %d hot symbols audited across %d "
+      "manifest entries: %s"
+      % (checked, len(MANIFEST), "FAIL" if fail else "clean"))
+sys.exit(1 if fail else 0)
+EOF

@@ -1,0 +1,27 @@
+#ifndef STARNUMA_CORE_D11_RAW_UINT_HH
+#define STARNUMA_CORE_D11_RAW_UINT_HH
+
+// Fixture: D11 strong-type boundaries — violations. A public header
+// under src/core/ passes raw uint64_t where PageNum/Cycles exist,
+// and does Addr->page arithmetic outside the geometry helpers.
+
+#include <cstdint>
+
+namespace starnuma
+{
+
+struct FixtureRawRecord
+{
+    std::uint64_t next_page; // expect-lint: D11
+    std::uint64_t stall_cycles; // expect-lint: D11
+};
+
+inline std::uint64_t
+fixtureRawPageOf(std::uint64_t addr, std::uint64_t pageBytes)
+{
+    return addr / pageBytes; // expect-lint: D11
+}
+
+} // namespace starnuma
+
+#endif // STARNUMA_CORE_D11_RAW_UINT_HH

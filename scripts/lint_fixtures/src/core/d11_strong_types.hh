@@ -1,0 +1,35 @@
+#ifndef STARNUMA_CORE_D11_STRONG_TYPES_HH
+#define STARNUMA_CORE_D11_STRONG_TYPES_HH
+
+// Fixture: D11 strong-type boundaries — clean. Page/cycle-named
+// fields use strong types; the one deliberate raw field carries a
+// justified raw-unit annotation.
+
+#include <cstdint>
+
+namespace starnuma
+{
+
+// Stand-ins for the sim/types.hh strong types (fixtures are
+// self-contained).
+struct FixturePageNum
+{
+    std::uint64_t v;
+};
+
+struct FixtureCycles
+{
+    std::uint64_t v;
+};
+
+struct FixtureStrongRecord
+{
+    FixturePageNum next_page;
+    FixtureCycles stall_cycles;
+    // lint: raw-unit fixture: interop field mirrors an on-disk format
+    std::uint64_t packed_page;
+};
+
+} // namespace starnuma
+
+#endif // STARNUMA_CORE_D11_STRONG_TYPES_HH

@@ -1,0 +1,28 @@
+// Fixture: D9 escape hatches — clean. A function-level cold-path
+// annotation stops the walk at the callee; a line-level one exempts
+// exactly that line. Neither produces a finding.
+
+namespace starnuma
+{
+
+// lint: cold-path fixture setup, runs once per run
+void
+fixtureColdSetup()
+{
+    int *scratch = new int[8];
+    delete[] scratch;
+}
+
+// lint: hot-path fixture root exercising both escape forms
+int
+fixtureHotEscaped(int v)
+{
+    fixtureColdSetup();
+    // lint: cold-path amortized growth, capacity reserved up front
+    int *grown = new int(v);
+    int out = *grown;
+    delete grown;
+    return out;
+}
+
+} // namespace starnuma

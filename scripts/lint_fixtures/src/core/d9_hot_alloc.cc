@@ -1,0 +1,34 @@
+// Fixture: D9 hot-path discipline — violations. The hot root is
+// clean itself; the findings are in the callees the reachability
+// walk descends into, and the messages carry the "hot via" chain.
+
+namespace starnuma
+{
+
+// Reached from the hot root: its allocation is a finding.
+int
+fixtureAppendSample(int v)
+{
+    int *slot = new int(v); // expect-lint: D9
+    int out = *slot;
+    delete slot;
+    return out;
+}
+
+// Also reached from the hot root: throwing is a finding.
+void
+fixtureFailHot(int v)
+{
+    if (v < 0)
+        throw v; // expect-lint: D9
+}
+
+// lint: hot-path fixture root of the reachability walk
+int
+fixtureHotLoop(int v)
+{
+    fixtureFailHot(v);
+    return fixtureAppendSample(v);
+}
+
+} // namespace starnuma

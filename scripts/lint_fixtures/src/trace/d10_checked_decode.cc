@@ -1,0 +1,53 @@
+// Fixture: D10 decoder bounds — clean. All cursor movement goes
+// through a ByteReader (whose own internals are the exempt trusted
+// kernel); the one raw access is annotated with a reason.
+
+#include <cstdint>
+
+namespace starnuma
+{
+namespace trace
+{
+
+class ByteReader
+{
+  public:
+    ByteReader(const std::uint8_t *data, std::size_t n)
+        : cur(data), end(data + n)
+    {
+    }
+
+    // lint: raw-read fixture: ByteReader internals are the trusted kernel
+    bool
+    getU8(std::uint8_t &out)
+    {
+        if (cur == end)
+            return false;
+        out = *cur;
+        ++cur;
+        return true;
+    }
+
+  private:
+    const std::uint8_t *cur;
+    const std::uint8_t *end;
+};
+
+bool
+fixtureDecodeChecked(ByteReader &r, std::uint8_t &out)
+{
+    return r.getU8(out);
+}
+
+std::uint64_t
+fixtureReadAnnotatedTotal(const std::uint8_t *buf, std::size_t n)
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        // lint: raw-read fixture: summing an owned buffer in place
+        total += buf[i];
+    return total;
+}
+
+} // namespace trace
+} // namespace starnuma

@@ -1,0 +1,28 @@
+// Fixture: D10 decoder bounds — violations. Decode-named functions
+// in src/trace/ may not memcpy/fread from byte buffers, do raw
+// pointer arithmetic on them, or reinterpret_cast.
+
+#include <cstdint>
+#include <cstring>
+
+namespace starnuma
+{
+namespace trace
+{
+
+std::uint64_t
+fixtureDecodeRawHeader(const std::uint8_t *buf, std::size_t n)
+{
+    std::uint64_t magic = 0;
+    std::memcpy(&magic, buf, sizeof(magic)); // expect-lint: D10
+    return magic + n;
+}
+
+std::uint32_t
+fixtureParseRawCount(const std::uint8_t *buf)
+{
+    return *reinterpret_cast<const std::uint32_t *>(buf); // expect-lint: D10
+}
+
+} // namespace trace
+} // namespace starnuma

@@ -1,31 +1,38 @@
 #!/usr/bin/env bash
-# Single CI entry point: run the tier-1 test suite, the full static
-# gate (scripts/run_lint.sh: starnuma-lint D1-D8, WERROR builds,
-# thread-safety analysis and clang-tidy when LLVM is present), and
-# the sanitizer matrix (scripts/run_sanitizers.sh: TSan and
-# ASan+UBSan over ctest), then print a per-stage pass/fail summary.
-# Exit status is nonzero when any stage fails, so this script is the
-# one thing a CI job needs to invoke.
+# Single CI entry point: run the tier-1 test suite, the static gate
+# (scripts/run_lint.sh: starnuma-lint D1-D8, the D9-D11 hot-path
+# analyzer, WERROR builds, thread-safety analysis and clang-tidy),
+# the analyze backstop (scripts/check_hotpath_syms.sh over the
+# release disassembly), and the sanitizer matrix
+# (scripts/run_sanitizers.sh: TSan and ASan+UBSan over ctest), then
+# print a per-stage pass/fail/skip summary with wall times. Stages
+# whose toolchain is absent on this machine (the clang ones on a
+# GCC-only box) report SKIP, not PASS — the summary states what was
+# actually checked. Exit status is nonzero when any stage fails, so
+# this script is the one thing a CI job needs to invoke.
 #
 # Usage: scripts/run_ci.sh [stage ...]
-#   stages: tier1 lint sanitizers bench
-#   (default: tier1 lint sanitizers, in order; `bench` is opt-in —
-#    it re-measures step-B replay throughput and fails on a >20%
-#    regression of replay.replay_instr_per_sec vs the committed
-#    BENCH_results.json, so only run it on quiet machines)
+#   stages: tier1 lint clang-tsa clang-tidy analyze sanitizers bench
+#   (default: tier1 lint clang-tsa clang-tidy analyze sanitizers, in
+#    order; `bench` is opt-in — it re-measures step-B replay
+#    throughput and fails on a >20% regression of
+#    replay.replay_instr_per_sec vs the committed BENCH_results.json,
+#    so only run it on quiet machines)
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
 
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-    stages=(tier1 lint sanitizers)
+    stages=(tier1 lint clang-tsa clang-tidy analyze sanitizers)
 fi
 
 names=()
 results=()
 times=()
 
+# A stage exits 0 for PASS, 3 for SKIP (required tool not
+# installed), anything else for FAIL.
 run_stage() {
     local name=$1
     shift
@@ -35,11 +42,12 @@ run_stage() {
     echo "========================================================"
     local t0
     t0=$(date +%s)
-    if "$@"; then
-        results+=("PASS")
-    else
-        results+=("FAIL")
-    fi
+    "$@"
+    case "$?" in
+      0) results+=("PASS") ;;
+      3) results+=("SKIP") ;;
+      *) results+=("FAIL") ;;
+    esac
     names+=("${name}")
     times+=("$(( $(date +%s) - t0 ))")
 }
@@ -48,6 +56,13 @@ tier1() {
     cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo &&
         cmake --build build -j "$(nproc)" &&
         ctest --test-dir build --output-on-failure -j "$(nproc)"
+}
+
+analyze() {
+    # Source-level interprocedural discipline, then the binary
+    # backstop over the tier-1 build's disassembly.
+    python3 scripts/starnuma_hotpath.py &&
+        scripts/check_hotpath_syms.sh build
 }
 
 bench_guard() {
@@ -102,15 +117,22 @@ EOF
 for stage in "${stages[@]}"; do
     case "${stage}" in
       tier1)      run_stage "tier1 ctest" tier1 ;;
-      lint)       run_stage "lint (D1-D8 + WERROR + TSA)" \
-                            scripts/run_lint.sh ;;
+      lint)       run_stage "lint (D1-D11 + WERROR)" \
+                            scripts/run_lint.sh python werror ;;
+      clang-tsa)  run_stage "clang thread-safety build" \
+                            scripts/run_lint.sh clang-tsa ;;
+      clang-tidy) run_stage "clang-tidy" \
+                            scripts/run_lint.sh clang-tidy ;;
+      analyze)    run_stage "analyze (hot-path + syms backstop)" \
+                            analyze ;;
       sanitizers) run_stage "sanitizers (TSan, ASan+UBSan)" \
                             scripts/run_sanitizers.sh ;;
       bench)      run_stage "bench (replay regression guard)" \
                             bench_guard ;;
       *)
-        echo "run_ci.sh: unknown stage '${stage}'" \
-             "(expected tier1|lint|sanitizers|bench)" >&2
+        echo "run_ci.sh: unknown stage '${stage}' (expected" \
+             "tier1|lint|clang-tsa|clang-tidy|analyze|sanitizers|" \
+             "bench)" >&2
         exit 2
         ;;
     esac
@@ -120,9 +142,9 @@ echo
 echo "=== CI summary ==="
 fail=0
 for i in "${!names[@]}"; do
-    printf '  %-32s %s  (%ss)\n' "${names[$i]}" "${results[$i]}" \
+    printf '  %-36s %s  (%ss)\n' "${names[$i]}" "${results[$i]}" \
            "${times[$i]}"
-    if [ "${results[$i]}" != "PASS" ]; then
+    if [ "${results[$i]}" = "FAIL" ]; then
         fail=1
     fi
 done

@@ -1,34 +1,51 @@
 #!/usr/bin/env bash
-# Run every static check (DESIGN.md §8, §10) and exit nonzero on any
-# finding:
+# Run the static checks (DESIGN.md §8, §10, §13) and exit nonzero on
+# any finding:
 #
-#   1. scripts/starnuma_lint.py      determinism & style rules D1-D5
-#                                    plus layering/lock-discipline
-#                                    rules D6-D8 (and the fixture
-#                                    self-test),
-#   2. the STARNUMA_WERROR build     -Wshadow -Wconversion
-#                                    -Wdouble-promotion as hard
-#                                    errors (host compiler),
-#   3. Clang thread-safety build     the same WERROR configuration
-#      (if clang++ installed)        under clang++, which adds
-#                                    -Wthread-safety
-#                                    -Werror=thread-safety over the
-#                                    sim/annotations.hh capability
-#                                    annotations, and
-#   4. clang-tidy (if installed)     bugprone-*/performance-*/
-#                                    concurrency-* over the exported
-#                                    compile_commands.json.
+#   python     scripts/starnuma_lint.py   determinism & style rules
+#                                         D1-D5 plus layering/lock-
+#                                         discipline rules D6-D8,
+#              scripts/starnuma_hotpath.py  interprocedural hot-path
+#                                         discipline D9-D11 (both
+#                                         with their fixture
+#                                         self-tests),
+#   werror     the STARNUMA_WERROR build  -Wshadow -Wconversion
+#                                         -Wdouble-promotion as hard
+#                                         errors (host compiler),
+#   clang-tsa  Clang thread-safety build  the same WERROR config
+#                                         under clang++, adding
+#                                         -Wthread-safety
+#                                         -Werror=thread-safety over
+#                                         the sim/annotations.hh
+#                                         capability annotations,
+#   clang-tidy clang-tidy                 bugprone-*/performance-*/
+#                                         concurrency-* over the
+#                                         exported
+#                                         compile_commands.json.
 #
-# Each stage reports its wall time, and the lint prints per-rule
+# Each stage reports its wall time, and the linters print per-rule
 # finding counts, so runtime regressions in the gate itself are
 # visible from the log.
 #
-# Usage: scripts/run_lint.sh
-set -euo pipefail
+# Usage: scripts/run_lint.sh [stage ...]
+#   stages: python werror clang-tsa clang-tidy
+#   (default: all four; the clang stages print a skip notice when
+#    LLVM is not installed)
+#
+# Exit status: 0 clean, 1 on findings/build errors, 2 on usage
+# errors, 3 when every *requested* stage was skipped for a missing
+# tool (scripts/run_ci.sh maps that to an explicit SKIP row).
+set -uo pipefail
 
 cd "$(dirname "$0")/.."
 
+stages=("$@")
+if [ ${#stages[@]} -eq 0 ]; then
+    stages=(python werror clang-tsa clang-tidy)
+fi
+
 fail=0
+ran=0
 stage_t0=0
 
 stage_begin() {
@@ -40,59 +57,101 @@ stage_end() {
     local status=$1
     local dt=$(( $(date +%s) - stage_t0 ))
     echo "--- stage took ${dt}s ---"
+    ran=1
     if [ "${status}" -ne 0 ]; then
         fail=1
     fi
 }
 
-stage_begin "starnuma_lint: rules D1-D8 (self-test + tree)"
-status=0
-python3 scripts/starnuma_lint.py --self-test || status=1
-python3 scripts/starnuma_lint.py || status=1
-stage_end "${status}"
+stage_python() {
+    stage_begin "starnuma_lint + starnuma_hotpath: rules D1-D11"
+    local status=0
+    python3 scripts/starnuma_lint.py --self-test || status=1
+    python3 scripts/starnuma_lint.py || status=1
+    python3 scripts/starnuma_hotpath.py || status=1
+    stage_end "${status}"
+}
 
-stage_begin "STARNUMA_WERROR build"
-status=0
-cmake -B build-werror -S . \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DSTARNUMA_WERROR=ON >/dev/null
-cmake --build build-werror -j "$(nproc)" || status=1
-stage_end "${status}"
+stage_werror() {
+    stage_begin "STARNUMA_WERROR build"
+    local status=0
+    cmake -B build-werror -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DSTARNUMA_WERROR=ON >/dev/null || status=1
+    if [ "${status}" -eq 0 ]; then
+        cmake --build build-werror -j "$(nproc)" || status=1
+    fi
+    stage_end "${status}"
+}
 
-if command -v clang++ >/dev/null 2>&1; then
+stage_clang_tsa() {
+    if ! command -v clang++ >/dev/null 2>&1; then
+        echo "=== clang++ not installed; skipping thread-safety" \
+             "build (gate is advisory on machines without LLVM) ==="
+        return 3
+    fi
     stage_begin "Clang thread-safety build (-Werror=thread-safety)"
-    status=0
+    local status=0
     cmake -B build-werror-clang -S . \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DCMAKE_CXX_COMPILER=clang++ \
-        -DSTARNUMA_WERROR=ON >/dev/null
-    cmake --build build-werror-clang -j "$(nproc)" || status=1
-    stage_end "${status}"
-else
-    echo "=== clang++ not installed; skipping thread-safety build" \
-         "(gate is advisory on machines without LLVM) ==="
-fi
-
-if command -v clang-tidy >/dev/null 2>&1; then
-    stage_begin "clang-tidy (bugprone-*, performance-*, concurrency-*)"
-    status=0
-    # The WERROR tree configured above exports the compilation
-    # database; run over the library sources (tests inherit via
-    # headers through HeaderFilterRegex).
-    mapfile -t srcs < <(find src -name '*.cc' | sort)
-    if command -v run-clang-tidy >/dev/null 2>&1; then
-        run-clang-tidy -quiet -p build-werror "${srcs[@]}" || status=1
-    else
-        clang-tidy -quiet -p build-werror "${srcs[@]}" || status=1
+        -DSTARNUMA_WERROR=ON >/dev/null || status=1
+    if [ "${status}" -eq 0 ]; then
+        cmake --build build-werror-clang -j "$(nproc)" || status=1
     fi
     stage_end "${status}"
-else
-    echo "=== clang-tidy not installed; skipping (gate is" \
-         "advisory on machines without LLVM) ==="
-fi
+}
+
+stage_clang_tidy() {
+    if ! command -v clang-tidy >/dev/null 2>&1; then
+        echo "=== clang-tidy not installed; skipping (gate is" \
+             "advisory on machines without LLVM) ==="
+        return 3
+    fi
+    stage_begin "clang-tidy (bugprone-*, performance-*, concurrency-*)"
+    local status=0
+    # The WERROR tree exports the compilation database; configure it
+    # if the werror stage did not run first. Run over the library
+    # sources (tests inherit via headers through HeaderFilterRegex).
+    if [ ! -f build-werror/compile_commands.json ]; then
+        cmake -B build-werror -S . \
+            -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+            -DSTARNUMA_WERROR=ON >/dev/null || status=1
+    fi
+    if [ "${status}" -eq 0 ]; then
+        mapfile -t srcs < <(find src -name '*.cc' | sort)
+        if command -v run-clang-tidy >/dev/null 2>&1; then
+            run-clang-tidy -quiet -p build-werror "${srcs[@]}" ||
+                status=1
+        else
+            clang-tidy -quiet -p build-werror "${srcs[@]}" ||
+                status=1
+        fi
+    fi
+    stage_end "${status}"
+}
+
+for stage in "${stages[@]}"; do
+    case "${stage}" in
+      python)     stage_python ;;
+      werror)     stage_werror ;;
+      clang-tsa)  stage_clang_tsa || true ;;
+      clang-tidy) stage_clang_tidy || true ;;
+      *)
+        echo "run_lint.sh: unknown stage '${stage}'" \
+             "(expected python|werror|clang-tsa|clang-tidy)" >&2
+        exit 2
+        ;;
+    esac
+done
 
 if [ "${fail}" -ne 0 ]; then
     echo "=== lint FAILED ==="
     exit 1
+fi
+if [ "${ran}" -eq 0 ]; then
+    # Everything requested was skipped for a missing tool.
+    echo "=== all requested lint stages skipped ==="
+    exit 3
 fi
 echo "=== all lint checks clean ==="

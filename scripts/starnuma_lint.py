@@ -68,12 +68,25 @@ import os
 import re
 import sys
 
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from starnuma_lint_core import (
+    Finding,
+    INCLUDE_RE,
+    SOURCE_EXTS,
+    collect_decl_names,
+    file_includes,
+    has_annotation_above,
+    iter_source_files,
+    mask_nested_parens,
+    read_source,
+    strip_comments_and_strings,
+)
+
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 # Directories whose code influences simulation results: D1 applies.
 RESULT_DIRS = ("src/sim", "src/core", "src/mem", "src/driver")
-
-SOURCE_EXTS = (".cc", ".hh", ".cpp", ".hpp")
 
 ORDER_ANNOTATION = "lint: order-independent"
 
@@ -124,7 +137,6 @@ LAYER_ALLOWED = {
                "workloads", "analytic"),
 }
 LAYER_EXCEPTION = "lint: layer-exception"
-INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
 
 # D7 annotations and type classes.
 LOCK_FREE_ANNOTATION = "lint: lock-free"
@@ -146,80 +158,6 @@ D8_NAKED_LOCK = re.compile(
     r"[\w)\]]\s*(?:\.|->)\s*(?:lock|unlock)\s*\(")
 D8_EXEMPT = ("src/sim/parallel.cc", "src/sim/parallel.hh",
              "src/sim/sync.hh")
-
-
-class Finding:
-    def __init__(self, rule, path, line, message):
-        self.rule = rule
-        self.path = path
-        self.line = line
-        self.message = message
-
-    def __str__(self):
-        return "%s:%d: [%s] %s" % (
-            self.path,
-            self.line,
-            self.rule,
-            self.message,
-        )
-
-
-def strip_comments_and_strings(text):
-    """Blank out comments and string/char literals, preserving line
-    structure, so token scans do not fire inside either."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        if c == "/" and i + 1 < n and text[i + 1] == "/":
-            j = text.find("\n", i)
-            j = n if j < 0 else j
-            out.append(" " * (j - i))
-            i = j
-        elif c == "/" and i + 1 < n and text[i + 1] == "*":
-            j = text.find("*/", i + 2)
-            j = n if j < 0 else j + 2
-            out.append(
-                "".join(ch if ch == "\n" else " " for ch in text[i:j])
-            )
-            i = j
-        elif c in "\"'":
-            quote = c
-            j = i + 1
-            while j < n and text[j] != quote:
-                j += 2 if text[j] == "\\" else 1
-            j = min(j + 1, n)
-            out.append(quote + " " * (j - i - 2) + quote if j - i >= 2
-                       else text[i:j])
-            i = j
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
-
-
-def collect_decl_names(code, decl_re):
-    """Identifiers declared (anywhere in @p code, comments stripped)
-    with a type matching @p decl_re: variables, members, references,
-    and functions returning one."""
-    names = set()
-    for m in decl_re.finditer(code):
-        # Match the template argument list's angle brackets.
-        i = m.end() - 1
-        depth = 0
-        while i < len(code):
-            if code[i] == "<":
-                depth += 1
-            elif code[i] == ">":
-                depth -= 1
-                if depth == 0:
-                    break
-            i += 1
-        rest = code[i + 1:]
-        dm = re.match(r"\s*&?\s*([A-Za-z_]\w*)", rest)
-        if dm:
-            names.add(dm.group(1))
-    return names
 
 
 def relpath(path):
@@ -279,22 +217,6 @@ def check_d2(rel, code_lines, findings):
                     "D2", rel, idx + 1,
                     "banned nondeterminism source '%s' (%s)"
                     % (token, why)))
-
-
-def mask_nested_parens(s):
-    """Blank out everything inside parentheses, so only top-level
-    tokens of an expression remain visible."""
-    out, depth = [], 0
-    for ch in s:
-        if ch == "(":
-            depth += 1
-            out.append("(")
-        elif ch == ")":
-            depth = max(0, depth - 1)
-            out.append(")")
-        else:
-            out.append(" " if depth > 0 else ch)
-    return "".join(out)
 
 
 def gtest_compares_float(window, line_len):
@@ -390,33 +312,6 @@ def src_layer(rel):
             parts[1] in LAYER_ALLOWED:
         return parts[1]
     return None
-
-
-def has_annotation_above(raw_lines, idx, annotation):
-    """True when @p annotation appears on line @p idx or in the
-    contiguous comment block directly above it."""
-    if annotation in raw_lines[idx]:
-        return True
-    j = idx - 1
-    while j >= 0:
-        stripped = raw_lines[j].strip()
-        if not (stripped.startswith("//") or stripped.startswith("*")
-                or stripped.startswith("/*") or stripped == ""):
-            break
-        if annotation in raw_lines[j]:
-            return True
-        j -= 1
-    return False
-
-
-def file_includes(raw_lines):
-    """[(line_index, include_path)] of every quoted include."""
-    out = []
-    for idx, line in enumerate(raw_lines):
-        m = INCLUDE_RE.match(line)
-        if m:
-            out.append((idx, m.group(1)))
-    return out
 
 
 def check_d6_layering(rel, raw_lines, findings):
@@ -652,22 +547,13 @@ def check_d8(rel, code_lines, findings):
 
 
 def lint_files(paths):
-    files = []
-    for p in paths:
-        if os.path.isdir(p):
-            for root, _, names in sorted(os.walk(p)):
-                for name in sorted(names):
-                    if name.endswith(SOURCE_EXTS):
-                        files.append(os.path.join(root, name))
-        elif p.endswith(SOURCE_EXTS):
-            files.append(p)
+    files = iter_source_files(paths)
 
     texts = {}
     unordered_names = set()
     local_decls = {}
     for f in files:
-        with open(f, encoding="utf-8", errors="replace") as fh:
-            raw = fh.read()
+        raw = read_source(f)
         code = strip_comments_and_strings(raw)
         texts[f] = (raw.splitlines(), code.splitlines(), code)
         local_unordered = collect_decl_names(code, UNORDERED_DECL)
@@ -711,9 +597,14 @@ def self_test():
             path = os.path.join(root, name)
             with open(path, encoding="utf-8") as fh:
                 for idx, line in enumerate(fh):
-                    for rule in re.findall(r"expect-lint:\s*(D\d)",
+                    # \b keeps D10/D11 markers (starnuma_hotpath's
+                    # rules) from being misread as D1; markers for
+                    # rules this tool does not own are ignored.
+                    for rule in re.findall(r"expect-lint:\s*(D\d+)\b",
                                            line):
-                        expected.add((relpath(path), idx + 1, rule))
+                        if rule in RULES:
+                            expected.add(
+                                (relpath(path), idx + 1, rule))
 
     # Fixtures live outside src/, so map them into the tree the
     # rules key off (src/core for D1, src/<dir> for D4).
@@ -741,7 +632,11 @@ def self_test():
 
 def main(argv):
     if "--self-test" in argv:
-        return self_test()
+        # One ctest entry covers both checkers: the D1-D8 fixture
+        # round-trip here, then starnuma_hotpath's D9-D11 fixtures.
+        rc = self_test()
+        import starnuma_hotpath
+        return rc or starnuma_hotpath.self_test()
     paths = [a for a in argv if not a.startswith("-")]
     if not paths:
         paths = [os.path.join(REPO_ROOT, "src"),

@@ -17,7 +17,7 @@ MigrationEngine::MigrationEngine(const MigrationConfig &config,
                                  std::uint64_t seed)
     : cfg(config), sockets(n_sockets), hasPool(has_pool),
       poolNode(n_sockets), regionBytes(region_bytes),
-      pagesPerRegion(static_cast<int>(region_bytes / pageBytes)),
+      pagesPerRegion(starnuma::pagesPerRegion(region_bytes)),
       rng(seed), hi(config.hiThresholdStart),
       lo(config.loThresholdStart), migrated_(0), toPool_(0),
       victims_(0), suppressed_(0)
@@ -30,7 +30,7 @@ NodeId
 MigrationEngine::currentLocation(RegionId region,
                                  const mem::PageMap &pages) const
 {
-    PageNum first(region * regionBytes / pageBytes);
+    PageNum first = regionFirstPage(region, regionBytes);
     for (int p = 0; p < pagesPerRegion; ++p) {
         NodeId home = pages.home(first + PageNum(p));
         if (home != mem::invalidNode)
@@ -43,7 +43,7 @@ void
 MigrationEngine::moveRegion(RegionId region, NodeId to,
                             mem::PageMap &pages)
 {
-    PageNum first(region * regionBytes / pageBytes);
+    PageNum first = regionFirstPage(region, regionBytes);
     for (int p = 0; p < pagesPerRegion; ++p)
         if (pages.home(first + PageNum(p)) != mem::invalidNode)
             pages.setHome(first + PageNum(p), to);
@@ -77,6 +77,7 @@ MigrationEngine::pingPonging(RegionId region, int phase) const
     return it->second * 4 > phase;
 }
 
+// lint: cold-path Algorithm 1 runs once per migration phase
 std::vector<RegionMigration>
 MigrationEngine::decidePhase(RegionTracker &tracker,
                              mem::PageMap &pages,
@@ -152,8 +153,7 @@ MigrationEngine::decidePhase(RegionTracker &tracker,
                 .add("branch", std::string(branch))
                 .add("region", static_cast<std::uint64_t>(region))
                 .add("page",
-                     static_cast<std::uint64_t>(
-                         region * regionBytes / pageBytes))
+                     regionFirstPage(region, regionBytes).value())
                 .add("sharers", e.sharerCount())
                 .add("accesses",
                      static_cast<std::uint64_t>(e.accesses))
@@ -279,6 +279,7 @@ MigrationEngine::poolMigrationFraction() const
                      : 0.0;
 }
 
+// lint: cold-path stats export, once per run when observing
 void
 MigrationEngine::registerStats(obs::Registry &r,
                                const std::string &prefix) const

@@ -8,6 +8,7 @@ namespace starnuma
 namespace core
 {
 
+// lint: cold-path runs once per experiment, before replay
 std::uint64_t
 OraclePlacement::place(mem::PageMap &pages, bool use_pool,
                        std::uint64_t pool_capacity_pages,

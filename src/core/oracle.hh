@@ -39,6 +39,7 @@ class OraclePlacement
     }
 
     /** Whole-run access knowledge feed (all phases). */
+    // lint: hot-path one count per replayed record batch (oracle)
     void
     recordAccess(PageNum page, NodeId socket,
                  std::uint32_t count = 1)

@@ -1,5 +1,6 @@
 #include "core/page_stats.hh"
 
+#include "sim/annotations.hh"
 #include "sim/logging.hh"
 
 namespace starnuma
@@ -20,7 +21,9 @@ PageAccessStats::PageAccessStats(int sockets) : sockets_(sockets)
     sn_assert(sockets > 0, "need at least one socket");
 }
 
-std::uint32_t *
+// lint: cold-path arena chaining amortized over ~64k blocks; the
+// bump allocation itself is the hot case and allocates nothing.
+STARNUMA_COLD_PATH std::uint32_t *
 PageAccessStats::newBlock()
 {
     std::size_t bytes = sizeof(std::uint32_t) *
@@ -38,6 +41,7 @@ PageAccessStats::newBlock()
     return p;
 }
 
+// lint: cold-path one-time setup before the replay loop
 void
 PageAccessStats::preallocate(PageNum base, std::size_t pages)
 {

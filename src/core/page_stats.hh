@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/annotations.hh"
 #include "sim/arena.hh"
 #include "sim/flat_map.hh"
 #include "sim/logging.hh"
@@ -45,6 +46,7 @@ class PageAccessStats
     void preallocate(PageNum base, std::size_t pages);
 
     /** Count @p count accesses to page @p page by @p socket. */
+    // lint: hot-path one count per replayed record batch (baseline)
     void
     record(PageNum page, NodeId socket, std::uint32_t count = 1)
     {
@@ -59,7 +61,7 @@ class PageAccessStats
             std::uint32_t *&slot = flat[flatSlot(page)];
             if (!slot) {
                 slot = newBlock();
-                order.push_back(page);
+                noteFirstAccess(page);
             }
             block = slot;
         }
@@ -110,6 +112,20 @@ class PageAccessStats
   private:
     /** A zeroed sockets_-wide counter block from the arena chain. */
     std::uint32_t *newBlock();
+
+    /**
+     * Out-of-line first-access append: keeps the vector's
+     * reallocation machinery (and its operator new call) out of the
+     * record() hot symbol, which scripts/check_hotpath_syms.sh
+     * verifies at the binary level. Capacity is reserved in
+     * preallocate(), so the push never actually reallocates.
+     */
+    // lint: cold-path capacity reserved in preallocate()
+    STARNUMA_COLD_PATH void
+    noteFirstAccess(PageNum page)
+    {
+        order.push_back(page);
+    }
 
     /** Block of @p page in either mode (null if untouched). */
     const std::uint32_t *findBlock(PageNum page) const;

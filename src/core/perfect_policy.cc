@@ -15,6 +15,7 @@ PerfectPagePolicy::PerfectPagePolicy(
 {
 }
 
+// lint: cold-path end-of-phase decision, runs once per phase
 std::vector<PageMigration>
 PerfectPagePolicy::decidePhase(mem::PageMap &pages)
 {

@@ -54,6 +54,7 @@ class PerfectPagePolicy
     }
 
     /** Zero-cost access knowledge feed (@p count accesses). */
+    // lint: hot-path one count per replayed record batch (baseline)
     void
     recordAccess(PageNum page, NodeId socket,
                  std::uint32_t count = 1)

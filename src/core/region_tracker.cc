@@ -37,9 +37,10 @@ RegionTracker::RegionTracker(int counter_bits, int n_sockets,
 int
 RegionTracker::pagesPerRegion() const
 {
-    return static_cast<int>(regionBytes_ / pageBytes);
+    return starnuma::pagesPerRegion(regionBytes_);
 }
 
+// lint: cold-path one-time setup before the replay loop
 void
 RegionTracker::preallocate(RegionId base, std::size_t regions)
 {

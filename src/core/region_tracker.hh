@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/annotations.hh"
 #include "sim/flat_map.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
@@ -63,7 +64,7 @@ class RegionTracker
     PageNum
     firstPage(RegionId region) const
     {
-        return PageNum(region * regionBytes_ / pageBytes);
+        return regionFirstPage(region, regionBytes_);
     }
 
     /**
@@ -80,6 +81,7 @@ class RegionTracker
      * counter saturates at 2^i - 1; with T_0 only the presence bit
      * is recorded.
      */
+    // lint: hot-path (called once per TLB annex flush)
     void
     record(Addr addr, NodeId socket, std::uint32_t count = 1)
     {
@@ -97,7 +99,7 @@ class RegionTracker
             // Every record sets a presence bit, so an untouched
             // entry is exactly one with an empty sharer mask.
             if (e->sharerMask == 0)
-                touchedOrder.push_back(region);
+                noteFirstTouch(region);
         }
         e->sharerMask |= 1ULL << socket;
         if (counterBits_ > 0) {
@@ -159,6 +161,20 @@ class RegionTracker
     }
 
   private:
+    /**
+     * Out-of-line first-touch append: keeps the vector's
+     * reallocation machinery (and its operator new call) out of the
+     * record() hot symbol, which scripts/check_hotpath_syms.sh
+     * verifies at the binary level. Capacity is reserved in
+     * preallocate(), so the push never actually reallocates.
+     */
+    // lint: cold-path capacity reserved in preallocate()
+    STARNUMA_COLD_PATH void
+    noteFirstTouch(RegionId region)
+    {
+        touchedOrder.push_back(region);
+    }
+
     int counterBits_;
     int sockets;
     Addr regionBytes_;

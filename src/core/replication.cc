@@ -12,6 +12,7 @@ namespace starnuma
 namespace core
 {
 
+// lint: cold-path runs once per experiment, after replay
 ReplicationPlan
 planReplication(const trace::WorkloadTrace &trace,
                 int cores_per_socket, int sockets,
@@ -70,7 +71,7 @@ planReplication(const trace::WorkloadTrace &trace,
               });
 
     std::uint64_t footprint_pages =
-        trace.footprintBytes / pageBytes;
+        pagesIn(trace.footprintBytes);
     double budget_pages =
         static_cast<double>(footprint_pages) * config.capacityBudget;
     double replica_pages = 0;

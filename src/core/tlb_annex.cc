@@ -21,6 +21,7 @@ toPowerOfTwo(std::size_t v)
 
 } // anonymous namespace
 
+// lint: cold-path construction is per-run setup
 TlbAnnex::TlbAnnex(const TlbConfig &config,
                    RegionTracker &owning_tracker, NodeId socket_id)
     : tracker(owning_tracker), socket(socket_id),
@@ -59,6 +60,7 @@ TlbAnnex::flushEntry(Entry &e)
     ++flushes_;
 }
 
+// lint: hot-path one lookup per LLC-missing access
 void
 TlbAnnex::recordAccess(Addr vaddr)
 {
@@ -106,6 +108,7 @@ TlbAnnex::recordAccess(Addr vaddr)
         tracker.record(vaddr, socket, 0);
 }
 
+// lint: hot-path one batched update per replayed record run
 void
 TlbAnnex::recordAccessRun(Addr vaddr, std::uint64_t count)
 {

@@ -25,6 +25,7 @@ TlbDirectory::TlbDirectory(int n_cores) : cores(n_cores)
               "TLB directory bit-set supports up to 256 cores");
 }
 
+// lint: cold-path one-time setup before the replay loop
 void
 TlbDirectory::preallocate(PageNum base, std::size_t pages)
 {
@@ -36,6 +37,7 @@ TlbDirectory::preallocate(PageNum base, std::size_t pages)
     flat.assign(pages, TlbHolderMask{});
 }
 
+// lint: hot-path queried per migrated page during shootdowns
 TlbHolderMask
 TlbDirectory::holders(PageNum page) const
 {
@@ -53,6 +55,7 @@ TlbDirectory::holderCount(PageNum page) const
     return holders(page).count();
 }
 
+// lint: hot-path one shootdown per migrated page
 int
 TlbDirectory::shootdown(PageNum page)
 {
@@ -77,6 +80,7 @@ const
                  : 0.0;
 }
 
+// lint: cold-path stats export, once per run when observing
 void
 TlbDirectory::registerStats(obs::Registry &r,
                             const std::string &prefix) const

@@ -72,6 +72,7 @@ class TlbDirectory
     void preallocate(PageNum base, std::size_t pages);
 
     /** Core @p core filled a TLB entry for page number @p page. */
+    // lint: hot-path one fill per TLB miss
     void
     fill(PageNum page, int core)
     {
@@ -88,6 +89,7 @@ class TlbDirectory
     }
 
     /** Core @p core evicted its TLB entry for @p page. */
+    // lint: hot-path one eviction per TLB replacement
     void
     evict(PageNum page, int core)
     {

@@ -91,6 +91,7 @@ struct MachineState
 
     /** Register the machine's component stats (links, LLCs, DRAM,
      *  directory) into @p r. */
+    // lint: cold-path stats export, once per run when observing
     void
     registerStats(obs::Registry &r) const
     {
@@ -298,7 +299,7 @@ PhaseSim::PhaseSim(const SystemSetup &system_setup,
     // route's time in the window (the remaining migrations still
     // take effect through the checkpoint's page map, exactly like
     // the 90% outside the window).
-    int ppr = static_cast<int>(setup.regionBytes / pageBytes);
+    int ppr = pagesPerRegion(setup.regionBytes);
     Cycles window_est(
         static_cast<double>(scale.detailInstructions()) *
         core.baseCpi * 4);
@@ -333,7 +334,7 @@ PhaseSim::PhaseSim(const SystemSetup &system_setup,
     Cycles when = spacing;
     for (std::size_t i = 0; i < n_regions; ++i) {
         const auto &m = checkpoint.regionMigrations[i];
-        PageNum first(m.region * setup.regionBytes / pageBytes);
+        PageNum first = regionFirstPage(m.region, setup.regionBytes);
         q.schedule(when, [this, first, ppr, m] {
             applyMigration(q.now(), first, ppr, m.from, m.to);
         });
@@ -909,6 +910,7 @@ PhaseSim::accumulate(RunMetrics &m) const
     m.migrationStallCycles += statMigStall.sum();
 }
 
+// lint: cold-path stats export, once per run when observing
 void
 PhaseSim::registerStats(obs::Registry &r) const
 {

@@ -1,8 +1,8 @@
 #include "driver/trace_sim.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
-#include <cstring>
 
 #include "core/oracle.hh"
 #include "core/region_tracker.hh"
@@ -42,6 +42,8 @@ TraceSim::socketOf(ThreadId t) const
     return t / scale.coresPerSocket;
 }
 
+// lint: hot-path root of the whole replay: everything reachable
+// from here runs per record unless explicitly marked cold.
 TraceSimResult
 TraceSim::run(const trace::WorkloadTrace &trace)
 {
@@ -63,6 +65,7 @@ namespace
 {
 
 /** Snapshot a PageMap into a checkpoint's plain map. */
+// lint: cold-path one full-map copy per phase checkpoint
 FlatMap<PageNum, NodeId>
 snapshot(const mem::PageMap &pm)
 {
@@ -120,7 +123,7 @@ TraceSim::runDynamic(const trace::WorkloadTrace &trace)
     const int nodes = setup.sys.sockets + (star ? 1 : 0);
 
     TraceSimResult result;
-    result.footprintPages = trace.footprintBytes / pageBytes;
+    result.footprintPages = pagesIn(trace.footprintBytes);
     result.poolCapacityPages =
         star ? static_cast<std::uint64_t>(
                    static_cast<double>(result.footprintPages) *
@@ -182,8 +185,10 @@ TraceSim::runDynamic(const trace::WorkloadTrace &trace)
     if (star) {
         if (spanPages > 0)
             tlb_dir.preallocate(spanLo, spanPages);
+        // lint: cold-path per-run TLB construction, before replay
         tlbs.reserve(trace.threads);
         for (ThreadId t = 0; t < trace.threads; ++t) {
+            // lint: cold-path per-run TLB construction
             tlbs.emplace_back(core::TlbConfig{}, tracker,
                               socketOf(t));
             tlbs.back().attachDirectory(&tlb_dir, t);
@@ -270,6 +275,7 @@ TraceSim::runDynamic(const trace::WorkloadTrace &trace)
         } else {
             pending_pages = perfect.decidePhase(pm);
         }
+        // lint: cold-path one checkpoint per phase
         result.checkpoints.push_back(std::move(cp));
     }
 
@@ -285,6 +291,8 @@ TraceSim::runDynamic(const trace::WorkloadTrace &trace)
         result.tlbShootdownsSent = tlb_dir.shootdownsSent();
         result.tlbShootdownsSaved = tlb_dir.shootdownsSaved();
     }
+    // lint: cold-path once-per-run stats export behind one relaxed
+    // load; off in benchmarked replay.
     if (obs::StatsSink::global().enabled()) {
         obs::Registry reg;
         engine.registerStats(reg, "engine");
@@ -302,7 +310,7 @@ TraceSim::runStaticOracle(const trace::WorkloadTrace &trace)
     const int nodes = setup.sys.sockets + (star ? 1 : 0);
 
     TraceSimResult result;
-    result.footprintPages = trace.footprintBytes / pageBytes;
+    result.footprintPages = pagesIn(trace.footprintBytes);
     result.poolCapacityPages =
         star ? static_cast<std::uint64_t>(
                    static_cast<double>(result.footprintPages) *
@@ -349,6 +357,7 @@ TraceSim::runStaticOracle(const trace::WorkloadTrace &trace)
     for (int phase = 0; phase < scale.phases; ++phase) {
         Checkpoint cp;
         cp.pageHome = map;
+        // lint: cold-path one checkpoint per phase
         result.checkpoints.push_back(std::move(cp));
     }
     if (star)
@@ -367,8 +376,7 @@ constexpr std::uint64_t checkpointMagic = 0x53544152434b5032ULL;
 void
 putDouble(std::vector<std::uint8_t> &out, double v)
 {
-    std::uint64_t bits = 0;
-    std::memcpy(&bits, &v, 8);
+    std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
     for (int i = 0; i < 8; ++i)
         out.push_back(
             static_cast<std::uint8_t>(bits >> (8 * i)));
@@ -377,13 +385,10 @@ putDouble(std::vector<std::uint8_t> &out, double v)
 bool
 getDouble(trace::ByteReader &r, double &v)
 {
-    std::uint8_t raw[8];
-    if (!r.getBytes(raw, 8))
-        return false;
     std::uint64_t bits = 0;
-    for (int i = 0; i < 8; ++i)
-        bits |= static_cast<std::uint64_t>(raw[i]) << (8 * i);
-    std::memcpy(&v, &bits, 8);
+    if (!r.getU64(bits))
+        return false;
+    v = std::bit_cast<double>(bits);
     return true;
 }
 
@@ -487,18 +492,8 @@ TraceSimResult::load(const std::string &path)
 {
     using trace::unzigzag;
 
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        return false;
-    std::fseek(f, 0, SEEK_END);
-    long size = std::ftell(f);
-    std::fseek(f, 0, SEEK_SET);
-    std::vector<std::uint8_t> buf(size > 0 ? size : 0);
-    bool ok = size >= 0 &&
-              std::fread(buf.data(), 1, buf.size(), f) ==
-                  buf.size();
-    std::fclose(f);
-    if (!ok)
+    std::vector<std::uint8_t> buf;
+    if (!trace::readFileBytes(path, buf))
         return false;
 
     trace::ByteReader r(buf.data(), buf.size());

@@ -128,6 +128,7 @@ Cache::reset()
     evictions_ = 0;
 }
 
+// lint: cold-path stats export, once per run when observing
 void
 Cache::registerStats(obs::Registry &r,
                      const std::string &prefix) const

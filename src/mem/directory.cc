@@ -104,6 +104,7 @@ Directory::reset()
     invalidations_ = 0;
 }
 
+// lint: cold-path stats export, once per run when observing
 void
 Directory::registerStats(obs::Registry &r,
                          const std::string &prefix) const

@@ -122,6 +122,7 @@ MemoryController::meanQueueDelay() const
     return n ? sum / static_cast<double>(n) : 0.0;
 }
 
+// lint: cold-path stats export, once per run when observing
 void
 DramChannel::registerStats(obs::Registry &r,
                            const std::string &prefix) const
@@ -131,6 +132,7 @@ DramChannel::registerStats(obs::Registry &r,
     r.addMean(prefix + ".queueDelay", &queueDelay);
 }
 
+// lint: cold-path stats export, once per run when observing
 void
 MemoryController::registerStats(obs::Registry &r,
                                 const std::string &prefix) const

@@ -12,6 +12,7 @@ PageMap::PageMap(int nodes) : counts(nodes, 0), firstTouch(0)
     sn_assert(nodes > 0, "page map needs at least one node");
 }
 
+// lint: cold-path one-time setup before the replay loop
 void
 PageMap::preallocate(PageNum base, std::uint64_t pages)
 {

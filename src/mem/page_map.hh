@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/annotations.hh"
 #include "sim/flat_map.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
@@ -47,6 +48,7 @@ class PageMap
     void preallocate(PageNum base, std::uint64_t pages);
 
     /** Home of page @p page, or invalidNode if unmapped. */
+    // lint: hot-path one lookup per modeled access
     NodeId
     home(PageNum page) const
     {
@@ -63,6 +65,7 @@ class PageMap
      * first access, then sticks.
      * @return the (possibly just-assigned) home node.
      */
+    // lint: hot-path one touch per replayed record batch
     NodeId
     touch(PageNum page, NodeId toucher)
     {
@@ -76,7 +79,7 @@ class PageMap
             h = toucher;
             ++counts[toucher];
             ++firstTouch;
-            order.push_back(page);
+            noteFirstTouch(page);
         }
         return h;
     }
@@ -113,6 +116,20 @@ class PageMap
 
   private:
     NodeId touchMapped(PageNum page, NodeId toucher);
+
+    /**
+     * Out-of-line first-touch append: keeps the vector's
+     * reallocation machinery (and its operator new call) out of the
+     * touch() hot symbol, which scripts/check_hotpath_syms.sh
+     * verifies at the binary level. Capacity is reserved in
+     * preallocate(), so the push never actually reallocates.
+     */
+    // lint: cold-path capacity reserved in preallocate()
+    STARNUMA_COLD_PATH void
+    noteFirstTouch(PageNum page)
+    {
+        order.push_back(page);
+    }
 
     /** Flat-mode slot of @p page (panics when out of range). */
     std::uint64_t

@@ -78,4 +78,18 @@
 #define STARNUMA_NO_THREAD_SAFETY_ANALYSIS \
     STARNUMA_THREAD_ANNOTATION(no_thread_safety_analysis)
 
+/**
+ * Outline a rarely-taken slow path (amortized container growth,
+ * arena chaining) into its own cold symbol: `cold` moves it out of
+ * the hot text and `noinline` keeps its allocation calls out of the
+ * caller's symbol, so scripts/check_hotpath_syms.sh can assert at
+ * the binary level that the hot-path symbols themselves contain no
+ * allocation (DESIGN.md §13). GCC and Clang both support it.
+ */
+#if defined(__GNUC__) || defined(__clang__)
+#define STARNUMA_COLD_PATH __attribute__((cold, noinline))
+#else
+#define STARNUMA_COLD_PATH
+#endif
+
 #endif // STARNUMA_SIM_ANNOTATIONS_HH

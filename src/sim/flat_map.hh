@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/annotations.hh"
 #include "sim/logging.hh"
 
 namespace starnuma
@@ -179,6 +180,7 @@ class FlatMap
     }
 
     /** Prepare for @p n live entries without rehashing on the way. */
+    // lint: cold-path up-front sizing, called before the replay loop
     void
     reserve(std::size_t n)
     {
@@ -194,11 +196,14 @@ class FlatMap
     {
         dense_.clear();
         dead_.clear();
+        // lint: cold-path same-size assign reuses the existing
+        // index storage; nothing grows.
         index_.assign(index_.size(), 0);
         live_ = 0;
         tombstones_ = 0;
     }
 
+    // lint: hot-path one probe per replayed trace record
     iterator
     find(const Key &key)
     {
@@ -216,6 +221,7 @@ class FlatMap
                    : const_iterator(this, index_[slot] - 1);
     }
 
+    // lint: hot-path one probe per replayed trace record
     bool contains(const Key &key) const
     {
         return findSlot(key) != npos;
@@ -225,6 +231,7 @@ class FlatMap
         return contains(key) ? 1 : 0;
     }
 
+    // lint: hot-path one probe per replayed trace record
     T &
     at(const Key &key)
     {
@@ -241,11 +248,14 @@ class FlatMap
         return dense_[index_[slot] - 1].second;
     }
 
+    // lint: hot-path one probe per replayed trace record
     T &operator[](const Key &key)
     {
         return try_emplace(key).first->second;
     }
 
+    // lint: hot-path the dominant per-record probe-or-insert; all
+    // growth is outlined into the cold growForInsert/rebuild pair.
     template <typename... Args>
     std::pair<iterator, bool>
     try_emplace(const Key &key, Args &&...args)
@@ -270,9 +280,12 @@ class FlatMap
             while (index_[b] != 0)
                 b = (b + 1) & mask_;
         }
+        // lint: cold-path amortized dense growth; reserve() backs
+        // the replay-loop uses, so these never reallocate there.
         dense_.emplace_back(
             std::piecewise_construct, std::forward_as_tuple(key),
             std::forward_as_tuple(std::forward<Args>(args)...));
+        // lint: cold-path amortized, same as the dense vector above
         dead_.push_back(0);
         index_[b] = static_cast<std::uint32_t>(dense_.size());
         ++live_;
@@ -298,6 +311,7 @@ class FlatMap
         return try_emplace(v.first, std::move(v.second));
     }
 
+    // lint: hot-path pool-resident bookkeeping erases per record
     std::size_t
     erase(const Key &key)
     {
@@ -409,7 +423,9 @@ class FlatMap
     }
 
     /** Make room for one more entry: grow or drop tombstones. */
-    void
+    // lint: cold-path amortized growth, outlined so the hot insert
+    // symbol carries no allocation (see check_hotpath_syms.sh)
+    STARNUMA_COLD_PATH void
     growForInsert()
     {
         if (index_.empty() || (live_ + 1) * 4 > index_.size() * 3)
@@ -423,7 +439,8 @@ class FlatMap
      * preserving the insertion order of live entries. Invalidates
      * iterators; called from insert paths only.
      */
-    void
+    // lint: cold-path rehash, amortized over many inserts
+    STARNUMA_COLD_PATH void
     rebuild(std::size_t buckets)
     {
         if (tombstones_ != 0) {
@@ -535,6 +552,7 @@ class FlatSet
         return const_iterator(m.end());
     }
 
+    // lint: hot-path one probe-or-insert per replayed trace record
     std::pair<const_iterator, bool>
     insert(const Key &key)
     {
@@ -543,6 +561,7 @@ class FlatSet
                 inserted};
     }
 
+    // lint: hot-path pool-resident bookkeeping erases per record
     std::size_t erase(const Key &key) { return m.erase(key); }
 
     const_iterator
@@ -551,6 +570,7 @@ class FlatSet
         return const_iterator(m.find(key));
     }
 
+    // lint: hot-path one probe per replayed trace record
     bool contains(const Key &key) const { return m.contains(key); }
     std::size_t count(const Key &key) const { return m.count(key); }
 

@@ -208,6 +208,7 @@ Registry::addHistogram(const std::string &path,
     });
 }
 
+// lint: cold-path stats export, once per run when observing
 Snapshot
 Registry::snapshot() const
 {

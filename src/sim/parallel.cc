@@ -248,6 +248,7 @@ ThreadPool::upNs() const
     return steadyNowNs() - startNs;
 }
 
+// lint: cold-path stats export, once per run when observing
 void
 ThreadPool::registerStats(obs::Registry &r,
                           const std::string &prefix) const

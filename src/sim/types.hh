@@ -122,6 +122,35 @@ pageBase(PageNum page)
     return page.value() * pageBytes;
 }
 
+/** Whole pages contained in @p bytes (floor; exact when the size is
+ *  page aligned, e.g. a trace footprint). */
+constexpr std::uint64_t
+pagesIn(Addr bytes)
+{
+    return bytes / pageBytes;
+}
+
+/** Pages needed to cover @p bytes (ceiling; allocation sizing). */
+constexpr std::uint64_t
+pagesCovering(Addr bytes)
+{
+    return (bytes + pageBytes - 1) / pageBytes;
+}
+
+/** Pages per migration region for a page-aligned region size. */
+constexpr int
+pagesPerRegion(Addr region_bytes)
+{
+    return static_cast<int>(region_bytes / pageBytes);
+}
+
+/** First page of region @p region (page-aligned region size). */
+constexpr PageNum
+regionFirstPage(std::uint64_t region, Addr region_bytes)
+{
+    return PageNum(region * (region_bytes / pageBytes));
+}
+
 } // namespace starnuma
 
 #endif // STARNUMA_SIM_TYPES_HH

@@ -67,6 +67,7 @@ Link::utilization(Dir dir, Cycles horizon) const
            static_cast<double>(horizon.value());
 }
 
+// lint: cold-path stats export, once per run when observing
 void
 Link::registerStats(obs::Registry &r,
                     const std::string &prefix) const

@@ -220,6 +220,7 @@ Topology::bytesByType(LinkType type) const
     return total;
 }
 
+// lint: cold-path stats export, once per run when observing
 void
 Topology::registerStats(obs::Registry &r,
                         const std::string &prefix) const

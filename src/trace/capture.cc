@@ -22,8 +22,7 @@ Addr
 CaptureContext::alloc(Addr bytes)
 {
     Addr base = nextAddr;
-    Addr pages = (bytes + pageBytes - 1) / pageBytes;
-    nextAddr += pages * pageBytes;
+    nextAddr += pagesCovering(bytes) * pageBytes;
     return base;
 }
 

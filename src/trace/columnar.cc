@@ -98,6 +98,8 @@ encodeColumnar(const WorkloadTrace &t)
     return out;
 }
 
+// lint: hot-path decode inner loops run once per trace record; the
+// only allocations are the count-bounded up-front ones marked below.
 bool
 decodeColumnar(const std::uint8_t *data, std::size_t size,
                WorkloadTrace &out)
@@ -110,6 +112,7 @@ decodeColumnar(const std::uint8_t *data, std::size_t size,
         return false;
     if (!r.getVarint(name_len) || !plausibleCount(name_len, r))
         return false;
+    // lint: cold-path one count-bounded allocation per decode
     out.workload.resize(static_cast<std::size_t>(name_len));
     if (!r.getBytes(out.workload.data(), out.workload.size()))
         return false;
@@ -132,6 +135,7 @@ decodeColumnar(const std::uint8_t *data, std::size_t size,
     if (!r.getVarint(n) || !plausibleCount(n, r))
         return false;
     out.firstTouches.clear();
+    // lint: cold-path one count-bounded allocation per decode
     out.firstTouches.reserve(static_cast<std::size_t>(n));
     std::uint64_t prev_page = 0;
     for (std::uint64_t i = 0; i < n; ++i) {
@@ -142,6 +146,7 @@ decodeColumnar(const std::uint8_t *data, std::size_t size,
         prev_page += static_cast<std::uint64_t>(unzigzag(dpage));
         min_page = std::min(min_page, prev_page);
         max_page = std::max(max_page, prev_page);
+        // lint: cold-path capacity reserved above; never grows
         out.firstTouches.push_back(
             {PageNum(prev_page),
              static_cast<ThreadId>(thread)});
@@ -150,6 +155,7 @@ decodeColumnar(const std::uint8_t *data, std::size_t size,
     if (!r.getVarint(n) || !plausibleCount(n, r))
         return false;
     out.writtenPages.clear();
+    // lint: cold-path one count-bounded allocation per decode
     out.writtenPages.reserve(static_cast<std::size_t>(n));
     prev_page = 0;
     for (std::uint64_t i = 0; i < n; ++i) {
@@ -157,13 +163,16 @@ decodeColumnar(const std::uint8_t *data, std::size_t size,
         if (!r.getVarint(dpage))
             return false;
         prev_page += static_cast<std::uint64_t>(unzigzag(dpage));
+        // lint: cold-path capacity reserved above; never grows
         out.writtenPages.push_back(PageNum(prev_page));
     }
 
+    // lint: cold-path one thread-count-bounded allocation per decode
     out.perThread.assign(static_cast<std::size_t>(threads), {});
     for (auto &recs : out.perThread) {
         if (!r.getVarint(n) || !plausibleCount(n, r))
             return false;
+        // lint: cold-path one count-bounded allocation per thread
         recs.resize(static_cast<std::size_t>(n));
         std::uint64_t prev = 0;
         for (auto &rec : recs) {
@@ -180,7 +189,7 @@ decodeColumnar(const std::uint8_t *data, std::size_t size,
                 return false;
             prev += static_cast<std::uint64_t>(unzigzag(d));
             rec.packed = prev & ~MemRecord::writeBit;
-            std::uint64_t page = rec.packed / pageBytes;
+            std::uint64_t page = pageNumber(rec.packed).value();
             min_page = std::min(min_page, page);
             max_page = std::max(max_page, page);
         }
@@ -223,7 +232,8 @@ saveColumnar(const WorkloadTrace &t, const std::string &path)
 }
 
 bool
-loadColumnar(WorkloadTrace &t, const std::string &path)
+readFileBytes(const std::string &path,
+              std::vector<std::uint8_t> &out)
 {
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
@@ -235,13 +245,22 @@ loadColumnar(WorkloadTrace &t, const std::string &path)
         std::fclose(f);
         return false;
     }
-    std::vector<std::uint8_t> bytes(
-        static_cast<std::size_t>(len));
-    bool ok = bytes.empty() ||
-              std::fread(bytes.data(), 1, bytes.size(), f) ==
-                  bytes.size();
+    out.assign(static_cast<std::size_t>(len), 0);
+    bool ok =
+        out.empty() ||
+        // lint: raw-read the one bulk transfer into the owned
+        // buffer; every byte is then parsed through ByteReader.
+        std::fread(out.data(), 1, out.size(), f) == out.size();
     std::fclose(f);
-    return ok && decodeColumnar(bytes.data(), bytes.size(), t);
+    return ok;
+}
+
+bool
+loadColumnar(WorkloadTrace &t, const std::string &path)
+{
+    std::vector<std::uint8_t> bytes;
+    return readFileBytes(path, bytes) &&
+           decodeColumnar(bytes.data(), bytes.size(), t);
 }
 
 } // namespace trace

@@ -88,6 +88,20 @@ class ByteReader
         return false; // > 10 bytes: corrupt
     }
 
+    /** Fixed-width little-endian u64 (the v1 trace and checkpoint
+     *  headers use fixed fields). @return false on truncation. */
+    bool
+    getU64(std::uint64_t &v)
+    {
+        if (remaining() < 8)
+            return false;
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+        p += 8;
+        return true;
+    }
+
     bool
     getBytes(void *dst, std::size_t n)
     {
@@ -117,6 +131,15 @@ bool decodeColumnar(const std::uint8_t *data, std::size_t size,
 
 /** encodeColumnar to a file. @return false on IO error. */
 bool saveColumnar(const WorkloadTrace &t, const std::string &path);
+
+/**
+ * Slurp a whole file into @p out. The single raw-read site shared
+ * by every decode path: one bulk transfer into an owned buffer,
+ * after which all parsing goes through the ByteReader cursor.
+ * @return false on IO error (and @p out is unspecified).
+ */
+bool readFileBytes(const std::string &path,
+                   std::vector<std::uint8_t> &out);
 
 /** Read + decodeColumnar a file. @return false on error. */
 bool loadColumnar(WorkloadTrace &t, const std::string &path);

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <sys/stat.h>
 
+#include "trace/columnar.hh"
+
 namespace starnuma
 {
 namespace trace
@@ -20,14 +22,6 @@ writeBytes(std::FILE *f, const void *p, std::size_t n)
     if (n == 0)
         return true; // empty vectors have a null data()
     return std::fwrite(p, 1, n, f) == n;
-}
-
-bool
-readBytes(std::FILE *f, void *p, std::size_t n)
-{
-    if (n == 0)
-        return true;
-    return std::fread(p, 1, n, f) == n;
 }
 
 } // anonymous namespace
@@ -86,49 +80,57 @@ WorkloadTrace::save(const std::string &path) const
 bool
 WorkloadTrace::load(const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
+    // Whole-file slurp through the shared checked helper, then
+    // parse with the ByteReader cursor (like decodeColumnar): every
+    // count is bounded by the bytes actually present, so a corrupt
+    // or truncated file can never drive an allocation past the
+    // file size.
+    std::vector<std::uint8_t> bytes;
+    if (!readFileBytes(path, bytes))
         return false;
-    bool ok = true;
-    std::uint64_t m = 0, name_len = 0, nthreads = 0, nft = 0;
-    ok = ok && readBytes(f, &m, 8) && m == magic;
-    ok = ok && readBytes(f, &name_len, 8) && name_len < 4096;
-    if (ok) {
-        workload.resize(name_len);
-        ok = readBytes(f, workload.data(), name_len);
-    }
-    ok = ok && readBytes(f, &nthreads, 8);
-    ok = ok && readBytes(f, &instructionsPerThread, 8);
-    ok = ok && readBytes(f, &footprintBytes, 8);
-    ok = ok && readBytes(f, &nft, 8);
-    if (ok) {
-        threads = static_cast<int>(nthreads);
-        firstTouches.resize(nft);
-        ok = readBytes(f, firstTouches.data(),
-                       nft * sizeof(FirstTouch));
-    }
+
+    ByteReader r(bytes.data(), bytes.size());
+    std::uint64_t m = 0, name_len = 0, nthreads = 0;
+    if (!r.getU64(m) || m != magic)
+        return false;
+    if (!r.getU64(name_len) || name_len > r.remaining())
+        return false;
+    workload.resize(static_cast<std::size_t>(name_len));
+    if (!r.getBytes(workload.data(), workload.size()))
+        return false;
+    if (!r.getU64(nthreads) || nthreads > 1024)
+        return false;
+    if (!r.getU64(instructionsPerThread) ||
+        !r.getU64(footprintBytes))
+        return false;
+    threads = static_cast<int>(nthreads);
+
+    std::uint64_t nft = 0;
+    if (!r.getU64(nft) || nft > r.remaining() / sizeof(FirstTouch))
+        return false;
+    firstTouches.resize(static_cast<std::size_t>(nft));
+    if (!r.getBytes(firstTouches.data(),
+                    firstTouches.size() * sizeof(FirstTouch)))
+        return false;
+
     std::uint64_t nwp = 0;
-    ok = ok && readBytes(f, &nwp, 8);
-    if (ok) {
-        writtenPages.resize(nwp);
-        ok = readBytes(f, writtenPages.data(),
-                       nwp * sizeof(PageNum));
+    if (!r.getU64(nwp) || nwp > r.remaining() / sizeof(PageNum))
+        return false;
+    writtenPages.resize(static_cast<std::size_t>(nwp));
+    if (!r.getBytes(writtenPages.data(),
+                    writtenPages.size() * sizeof(PageNum)))
+        return false;
+
+    perThread.assign(static_cast<std::size_t>(nthreads), {});
+    for (auto &t : perThread) {
+        std::uint64_t n = 0;
+        if (!r.getU64(n) || n > r.remaining() / sizeof(MemRecord))
+            return false;
+        t.resize(static_cast<std::size_t>(n));
+        if (!r.getBytes(t.data(), t.size() * sizeof(MemRecord)))
+            return false;
     }
-    if (ok) {
-        perThread.assign(nthreads, {});
-        for (auto &t : perThread) {
-            std::uint64_t n = 0;
-            ok = ok && readBytes(f, &n, 8);
-            if (!ok)
-                break;
-            t.resize(n);
-            ok = readBytes(f, t.data(), n * sizeof(MemRecord));
-            if (!ok)
-                break;
-        }
-    }
-    std::fclose(f);
-    return ok;
+    return true;
 }
 
 std::string
