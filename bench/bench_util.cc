@@ -9,7 +9,9 @@
 #include <map>
 #include <mutex>
 
+#include "sim/obs/audit.hh"
 #include "sim/obs/obs.hh"
+#include "sim/obs/timeseries.hh"
 #include "sim/obs/trace_session.hh"
 #include "workloads/workload.hh"
 
@@ -139,8 +141,9 @@ speedupOverBaseline(const std::string &workload,
 std::vector<std::string>
 benchWorkloads()
 {
-    if (fastMode())
-        return {"bfs", "tc", "poa"};
+    // All eight workloads in fast mode too: fast runs shrink the
+    // *scale* (benchScale), not the coverage, so the exported
+    // BENCH_results.json always carries every workload.
     return workloads::workloadNames();
 }
 
@@ -240,6 +243,16 @@ initBench(int *argc, char **argv)
     if (!trace_out.empty()) {
         obs::TraceSession::global().start(trace_out);
         std::atexit([] { obs::TraceSession::global().write(); });
+    }
+    std::string ts_out = takeFlag(argc, argv, "timeseries-out");
+    if (!ts_out.empty()) {
+        obs::TimeSeriesSink::global().start(ts_out);
+        std::atexit([] { obs::TimeSeriesSink::global().write(); });
+    }
+    std::string audit_out = takeFlag(argc, argv, "audit-out");
+    if (!audit_out.empty()) {
+        obs::AuditSink::global().start(audit_out);
+        std::atexit([] { obs::AuditSink::global().write(); });
     }
     benchJsonPath = takeFlag(argc, argv, "bench-json");
     if (benchJsonPath.empty())

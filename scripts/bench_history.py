@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Diff two starnuma-bench-v1 JSONs with regression thresholds.
+
+Usage: bench_history.py BASELINE.json CURRENT.json [options]
+
+Compares every metric present in both files (missing keys are
+reported but never fail -- coverage can grow between commits).
+Direction is inferred per metric: keys containing "mpki", "cycles",
+"latency" or "stall" are lower-is-better, everything else (speedups,
+IPC, throughput) is higher-is-better. A metric fails when it
+regresses by more than its threshold:
+
+  --limit         default fractional tolerance       (default 0.10)
+  --replay-limit  tolerance for wall-clock-sensitive (default 0.20)
+                  "replay.*" throughput metrics
+
+Exits 1 when any shared metric regressed past its threshold; the
+`bench` stage of scripts/run_ci.sh drives it against the committed
+BENCH_results.json. `--self-test` checks the comparison logic on
+embedded fixtures.
+"""
+
+import argparse
+import json
+import sys
+
+LOWER_BETTER_TOKENS = ("mpki", "cycles", "latency", "stall",
+                       "wall_time")
+
+
+def lower_is_better(key):
+    low = key.lower()
+    return any(tok in low for tok in LOWER_BETTER_TOKENS)
+
+
+def compare(baseline, current, limit, replay_limit):
+    """-> (report lines, regression lines)."""
+    lines = []
+    regressions = []
+    shared = sorted(set(baseline) & set(current))
+    for key in shared:
+        base, curr = float(baseline[key]), float(current[key])
+        threshold = replay_limit if key.startswith("replay.") \
+            else limit
+        if base == 0.0:
+            lines.append("  %-44s %12g -> %-12g (no baseline)"
+                         % (key, base, curr))
+            continue
+        change = (curr - base) / abs(base)
+        improvement = -change if lower_is_better(key) else change
+        marker = ""
+        if -improvement > threshold:
+            marker = "  REGRESSED (limit %.0f%%)" % (threshold * 100)
+            regressions.append(key)
+        lines.append("  %-44s %12g -> %-12g %+6.1f%%%s"
+                     % (key, base, curr, change * 100, marker))
+    for key in sorted(set(baseline) - set(current)):
+        lines.append("  %-44s dropped (was %g)"
+                     % (key, float(baseline[key])))
+    for key in sorted(set(current) - set(baseline)):
+        lines.append("  %-44s new (%g)" % (key, float(current[key])))
+    return lines, regressions
+
+
+def load_results(path):
+    with open(path) as fh:
+        data = json.load(fh)
+    if data.get("schema") != "starnuma-bench-v1":
+        raise SystemExit("%s: not a starnuma-bench-v1 file (schema "
+                         "%r)" % (path, data.get("schema")))
+    return data["results"]
+
+
+def self_test():
+    baseline = {"fig08.speedup_t16.bfs": 1.5,
+                "table3.llc_mpki.bfs": 2.0,
+                "replay.replay_instr_per_sec": 1e8,
+                "old.metric": 1.0}
+    # speedup -2.7% (ok), mpki +25% worse (fail at 10%), replay
+    # -15% (ok at 20%), one dropped + one new key (never fail).
+    current = {"fig08.speedup_t16.bfs": 1.46,
+               "table3.llc_mpki.bfs": 2.5,
+               "replay.replay_instr_per_sec": 0.85e8,
+               "new.metric": 2.0}
+    _, regressions = compare(baseline, current, 0.10, 0.20)
+    assert regressions == ["table3.llc_mpki.bfs"], regressions
+    # Tighten the replay limit below 15%: now replay fails too.
+    _, regressions = compare(baseline, current, 0.10, 0.10)
+    assert regressions == ["replay.replay_instr_per_sec",
+                           "table3.llc_mpki.bfs"], regressions
+    # Direction check: a *drop* in MPKI is an improvement.
+    _, regressions = compare({"a.llc_mpki": 2.0}, {"a.llc_mpki": 1.0},
+                             0.10, 0.20)
+    assert regressions == [], regressions
+    print("bench-history self-test: 3 comparisons, OK")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Diff two starnuma-bench-v1 result files with "
+                    "per-metric regression thresholds.")
+    parser.add_argument("baseline", nargs="?",
+                        help="committed baseline JSON")
+    parser.add_argument("current", nargs="?",
+                        help="freshly measured JSON")
+    parser.add_argument("--limit", type=float, default=0.10,
+                        help="default tolerated fractional "
+                             "regression (default 0.10)")
+    parser.add_argument("--replay-limit", type=float, default=0.20,
+                        help="tolerance for replay.* wall-clock "
+                             "metrics (default 0.20)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="check the comparison logic on "
+                             "embedded fixtures")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.error("need BASELINE.json and CURRENT.json "
+                     "(or --self-test)")
+
+    lines, regressions = compare(load_results(args.baseline),
+                                 load_results(args.current),
+                                 args.limit, args.replay_limit)
+    print("bench-history: %s -> %s" % (args.baseline, args.current))
+    for line in lines:
+        print(line)
+    if regressions:
+        print("bench-history: %d metric(s) regressed: %s"
+              % (len(regressions), ", ".join(regressions)))
+        return 1
+    print("bench-history: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

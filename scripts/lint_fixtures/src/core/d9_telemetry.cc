@@ -1,0 +1,44 @@
+// Fixture: D9 telemetry sampling discipline. Mirrors the
+// obs::TimeSeries contract — the per-epoch flush is cold-annotated
+// (amortized off the per-access path) and passes; sampling inline
+// from the hot loop allocates per record and is flagged.
+
+namespace starnuma
+{
+
+struct FixtureSeries
+{
+    unsigned long last;
+};
+
+// lint: cold-path per-epoch flush, amortized off the per-access path
+void
+fixtureEpochFlush(FixtureSeries &s, unsigned long v)
+{
+    double *col = new double[4];
+    col[0] = static_cast<double>(v);
+    s.last = v;
+    delete[] col;
+}
+
+// Reached from the hot root with no escape: a per-sample allocation
+// in the replay loop is exactly what D9 exists to catch.
+void
+fixtureInlineSample(FixtureSeries &s, unsigned long v)
+{
+    double *rec = new double(static_cast<double>(v)); // expect-lint: D9
+    s.last = v + static_cast<unsigned long>(*rec);
+    delete rec;
+}
+
+// lint: hot-path fixture root modeling a replay loop that samples
+int
+fixtureReplayLoop(FixtureSeries &s, int n)
+{
+    for (int i = 0; i < n; ++i)
+        fixtureInlineSample(s, static_cast<unsigned long>(i));
+    fixtureEpochFlush(s, static_cast<unsigned long>(n));
+    return static_cast<int>(s.last);
+}
+
+} // namespace starnuma

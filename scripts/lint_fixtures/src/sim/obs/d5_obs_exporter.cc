@@ -1,0 +1,14 @@
+// Fixture: D5 allowed-stdio list — clean. src/sim/obs/ is an
+// exporter directory (stats, time series, audit sinks write their
+// artifacts here), so raw stdio is allowed and none of these lines
+// may produce a finding. Deliberately no expect-lint markers: any
+// D5 report from this file fails the self-test as UNEXPECTED.
+
+#include <cstdio>
+
+void
+fine_obs_exporter_stdio(const char *path, const char *row)
+{
+    std::printf("%s\n", row);
+    std::fprintf(stderr, "obs: wrote %s\n", path);
+}

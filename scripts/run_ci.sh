@@ -12,19 +12,23 @@
 # this script is the one thing a CI job needs to invoke.
 #
 # Usage: scripts/run_ci.sh [stage ...]
-#   stages: tier1 lint clang-tsa clang-tidy analyze sanitizers bench
-#   (default: tier1 lint clang-tsa clang-tidy analyze sanitizers, in
-#    order; `bench` is opt-in — it re-measures step-B replay
-#    throughput and fails on a >20% regression of
-#    replay.replay_instr_per_sec vs the committed BENCH_results.json,
-#    so only run it on quiet machines)
+#   stages: tier1 lint clang-tsa clang-tidy analyze sanitizers obs
+#           bench
+#   (default: tier1 lint clang-tsa clang-tidy analyze sanitizers
+#    obs, in order; `obs` smoke-tests the observability pipeline —
+#    stats, Chrome trace, time series, audit log and the run-explain
+#    report (scripts/run_observability.sh). `bench` is opt-in — it
+#    re-measures step-B replay throughput and diffs against the
+#    committed BENCH_results.json with scripts/bench_history.py
+#    (20% tolerance on the wall-clock replay.* metrics), so only run
+#    it on quiet machines)
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
 
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-    stages=(tier1 lint clang-tsa clang-tidy analyze sanitizers)
+    stages=(tier1 lint clang-tsa clang-tidy analyze sanitizers obs)
 fi
 
 names=()
@@ -88,30 +92,26 @@ bench_guard() {
             --bench-json="${tmp}/replay${i}.json" >/dev/null ||
             return 1
     done
-    python3 - BENCH_results.json "${tmp}"/replay[123].json <<'EOF'
+    # Fold best-of-3 into one measurement file, then let the
+    # history differ apply its per-metric thresholds (replay.* keys
+    # get the 20% wall-clock tolerance).
+    python3 - "${tmp}"/replay[123].json \
+        "${tmp}/current.json" <<'EOF' || return 1
 import json
 import sys
 
-KEY = "replay.replay_instr_per_sec"
-LIMIT = 0.20  # tolerated fractional slowdown
-
-with open(sys.argv[1]) as fh:
-    committed = json.load(fh)["results"]
-if KEY not in committed:
-    sys.exit("bench: committed BENCH_results.json lacks %s; "
-             "re-run scripts/export_bench_json.sh" % KEY)
-baseline = float(committed[KEY])
-current = 0.0
-for path in sys.argv[2:]:
+best = {"schema": "starnuma-bench-v1", "results": {}}
+for path in sys.argv[1:-1]:
     with open(path) as fh:
-        current = max(current, float(json.load(fh)["results"][KEY]))
-ratio = current / baseline
-print("bench: %s  committed %.3g  best-of-%d %.3g  (%.2fx)"
-      % (KEY, baseline, len(sys.argv) - 2, current, ratio))
-if ratio < 1.0 - LIMIT:
-    sys.exit("bench: replay throughput regressed by %.0f%% "
-             "(limit %.0f%%)" % ((1 - ratio) * 100, LIMIT * 100))
+        for key, val in json.load(fh)["results"].items():
+            prev = best["results"].get(key)
+            best["results"][key] = val if prev is None \
+                else max(val, prev)
+with open(sys.argv[-1], "w") as fh:
+    json.dump(best, fh)
 EOF
+    python3 scripts/bench_history.py BENCH_results.json \
+        "${tmp}/current.json"
 }
 
 for stage in "${stages[@]}"; do
@@ -127,12 +127,14 @@ for stage in "${stages[@]}"; do
                             analyze ;;
       sanitizers) run_stage "sanitizers (TSan, ASan+UBSan)" \
                             scripts/run_sanitizers.sh ;;
+      obs)        run_stage "obs (telemetry + report smoke)" \
+                            scripts/run_observability.sh ;;
       bench)      run_stage "bench (replay regression guard)" \
                             bench_guard ;;
       *)
         echo "run_ci.sh: unknown stage '${stage}' (expected" \
              "tier1|lint|clang-tsa|clang-tidy|analyze|sanitizers|" \
-             "bench)" >&2
+             "obs|bench)" >&2
         exit 2
         ;;
     esac

@@ -111,6 +111,10 @@ D5_RAW_STDIO = re.compile(
     r"|\bstd\s*::\s*cout\b"
 )
 D5_ALLOWED_FILES = ("src/sim/logging.cc", "src/sim/table.cc")
+# The obs exporters (stats, time-series and audit sinks) write
+# their artifacts with raw stdio by design; the whole directory is
+# allowed. lint_fixtures/src/sim/obs/ proves the allowance in
+# --self-test.
 D5_ALLOWED_DIRS = ("src/sim/obs/",)
 
 UNORDERED_DECL = re.compile(r"\bunordered_(?:map|set)\s*<")

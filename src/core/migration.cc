@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/obs/audit.hh"
 #include "sim/obs/registry.hh"
 #include "sim/obs/trace_session.hh"
 
@@ -139,28 +140,53 @@ MigrationEngine::decidePhase(RegionTracker &tracker,
     std::vector<RegionMigration> plan;
     std::uint64_t moved_pages = 0;
 
-    // One instant trace event per Algorithm-1 decision; the branch
-    // label tells which arm fired. Guarded so an untraced run pays
-    // one relaxed load per phase.
+    // One record per Algorithm-1 decision, fanned into the two
+    // observability channels: an instant trace event (wall-clock
+    // channel, the original five branches) and a structured
+    // obs::AuditRecord (deterministic channel, every branch).
+    // Guarded so an unobserved run pays two relaxed loads per
+    // phase.
     obs::TraceSession &trace = obs::TraceSession::global();
     const bool tracing = trace.enabled();
-    auto traceDecision = [&](const char *branch, RegionId region,
-                             const TrackerEntry &e, NodeId from,
-                             NodeId to) {
-        trace.instantNow(
-            "migration", "migration",
-            obs::TraceArgs()
-                .add("branch", std::string(branch))
-                .add("region", static_cast<std::uint64_t>(region))
-                .add("page",
-                     regionFirstPage(region, regionBytes).value())
-                .add("sharers", e.sharerCount())
-                .add("accesses",
-                     static_cast<std::uint64_t>(e.accesses))
-                .add("from", static_cast<int>(from))
-                .add("to", static_cast<int>(to))
-                .add("phase", phase)
-                .str());
+    const bool auditing = obs::AuditSink::global().enabled();
+    auto record = [&](obs::AuditBranch branch, RegionId region,
+                      const TrackerEntry &e, NodeId from,
+                      NodeId to, bool traced) {
+        if (tracing && traced) {
+            trace.instantNow(
+                "migration", "migration",
+                obs::TraceArgs()
+                    .add("branch",
+                         std::string(obs::auditBranchName(branch)))
+                    .add("region",
+                         static_cast<std::uint64_t>(region))
+                    .add("page",
+                         regionFirstPage(region, regionBytes)
+                             .value())
+                    .add("sharers", e.sharerCount())
+                    .add("accesses",
+                         static_cast<std::uint64_t>(e.accesses))
+                    .add("from", static_cast<int>(from))
+                    .add("to", static_cast<int>(to))
+                    .add("phase", phase)
+                    .str());
+        }
+        if (!auditing)
+            return;
+        obs::AuditRecord r;
+        r.phase = static_cast<std::uint32_t>(phase);
+        r.branch = branch;
+        r.region = region;
+        r.page = regionFirstPage(region, regionBytes).value();
+        r.sharers =
+            static_cast<std::uint32_t>(e.sharerCount());
+        r.accesses = e.accesses;
+        r.hiThreshold = hi;
+        r.loThreshold = lo;
+        r.candidates = static_cast<std::uint32_t>(candidates);
+        r.from = static_cast<std::int32_t>(from);
+        r.to = static_cast<std::int32_t>(to);
+        audit_.append(r);
     };
 
     for (const auto &[region, e] : touched_sorted) {
@@ -180,17 +206,21 @@ MigrationEngine::decidePhase(RegionTracker &tracker,
         } else if (!cfg.randomSharerReshuffle && curr != poolNode &&
                    curr < 64 && (e.sharerMask & (1ULL << curr))) {
             // Already placed at a sharer: no socket-to-socket move.
+            record(obs::AuditBranch::AlreadyPlaced, region, e, curr,
+                   curr, false);
             continue;
         } else {
             best = randomSharer(e);
         }
-        if (best == curr)
+        if (best == curr) {
+            record(obs::AuditBranch::SamePlacement, region, e, curr,
+                   best, false);
             continue;
+        }
         if (pingPonging(region, phase)) {
             ++suppressed_;
-            if (tracing)
-                traceDecision("pingPongSuppressed", region, e, curr,
-                              best);
+            record(obs::AuditBranch::PingPongSuppressed, region, e,
+                   curr, best, true);
             continue;
         }
 
@@ -219,9 +249,8 @@ MigrationEngine::decidePhase(RegionTracker &tracker,
                     // next phase can find one.
                     lo = std::min(lo * 2, cfg.loThresholdMax);
                     room = false;
-                    if (tracing)
-                        traceDecision("noRoomBackoff", region, e,
-                                      curr, poolNode);
+                    record(obs::AuditBranch::NoRoomBackoff, region,
+                           e, curr, poolNode, true);
                     break;
                 }
                 NodeId victim_dest = randomSharer(phaseEntry(victim));
@@ -232,10 +261,9 @@ MigrationEngine::decidePhase(RegionTracker &tracker,
                 plan.push_back(
                     {victim, poolNode, victim_dest, true});
                 moved_pages += pagesPerRegion;
-                if (tracing)
-                    traceDecision("victimEviction", victim,
-                                  phaseEntry(victim), poolNode,
-                                  victim_dest);
+                record(obs::AuditBranch::VictimEviction, victim,
+                       phaseEntry(victim), poolNode, victim_dest,
+                       true);
             }
             if (!room)
                 continue;
@@ -252,10 +280,9 @@ MigrationEngine::decidePhase(RegionTracker &tracker,
         ++migrated_;
         plan.push_back({region, curr, best, false});
         moved_pages += pagesPerRegion;
-        if (tracing)
-            traceDecision(best == poolNode ? "toPool"
-                                           : "toSharer",
-                          region, e, curr, best);
+        record(best == poolNode ? obs::AuditBranch::ToPool
+                                : obs::AuditBranch::ToSharer,
+               region, e, curr, best, true);
     }
 
     // Adapt the HI threshold to keep the candidate count near the

@@ -22,6 +22,7 @@
 #include "core/region_tracker.hh"
 #include "sim/flat_map.hh"
 #include "mem/page_map.hh"
+#include "sim/obs/audit.hh"
 #include "sim/rng.hh"
 #include "sim/types.hh"
 
@@ -132,6 +133,13 @@ class MigrationEngine
     void registerStats(obs::Registry &r,
                        const std::string &prefix) const;
 
+    /**
+     * Structured record of every Algorithm-1 decision across the
+     * phases run so far. Populated only while the obs::AuditSink is
+     * enabled (one relaxed load per phase); empty otherwise.
+     */
+    const obs::AuditLog &audit() const { return audit_; }
+
   private:
     NodeId currentLocation(RegionId region,
                            const mem::PageMap &pages) const;
@@ -157,6 +165,8 @@ class MigrationEngine
     std::uint64_t toPool_;
     std::uint64_t victims_;
     std::uint64_t suppressed_;
+
+    obs::AuditLog audit_;
 };
 
 } // namespace core

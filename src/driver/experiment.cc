@@ -9,7 +9,9 @@
 #include "sim/annotations.hh"
 #include "sim/logging.hh"
 #include "sim/sync.hh"
+#include "sim/obs/audit.hh"
 #include "sim/obs/obs.hh"
+#include "sim/obs/timeseries.hh"
 #include "sim/obs/trace_session.hh"
 #include "workloads/workload.hh"
 
@@ -116,6 +118,17 @@ runExperiment(const std::string &workload, const SystemSetup &setup,
         sink.add(prefix + "timing.", timing.stats());
         sink.add(prefix + "traceSim.", result.placement.stats);
     }
+    obs::TimeSeriesSink &ts_sink = obs::TimeSeriesSink::global();
+    if (ts_sink.enabled()) {
+        std::string prefix = workload + "." + setup.name + ".";
+        ts_sink.add(prefix + "timing.", timing.timeseries());
+        ts_sink.add(prefix + "traceSim.",
+                    result.placement.timeseries);
+    }
+    obs::AuditSink &audit_sink = obs::AuditSink::global();
+    if (audit_sink.enabled())
+        audit_sink.add(workload + "." + setup.name,
+                       result.placement.audit);
     return result;
 }
 
@@ -143,6 +156,16 @@ runSingleSocket(const std::string &workload, const SimScale &scale)
         sink.add(prefix + "summary.", metricsSnapshot(m));
         sink.add(prefix + "timing.", timing.stats());
     }
+    obs::TimeSeriesSink &ts_sink = obs::TimeSeriesSink::global();
+    if (ts_sink.enabled()) {
+        std::string prefix = workload + ".single-socket.";
+        ts_sink.add(prefix + "timing.", timing.timeseries());
+        ts_sink.add(prefix + "traceSim.", placement.timeseries);
+    }
+    obs::AuditSink &audit_sink = obs::AuditSink::global();
+    if (audit_sink.enabled())
+        audit_sink.add(workload + ".single-socket",
+                       placement.audit);
     return m;
 }
 

@@ -17,6 +17,7 @@
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 #include "sim/obs/obs.hh"
+#include "sim/obs/timeseries.hh"
 #include "sim/obs/trace_session.hh"
 #include "sim/parallel.hh"
 #include "sim/stats.hh"
@@ -40,6 +41,9 @@ constexpr std::uint64_t metadataWritePeriod = 32;
 
 /** Page data is streamed in chunks of this many blocks. */
 constexpr int migrationChunkBlocks = 4;
+
+/** Stream/counter names per topology::LinkType index. */
+constexpr const char *linkTypeNames[3] = {"upi", "numalink", "cxl"};
 
 /** Zero-padded snapshot prefix of one phase ("phase03."). */
 std::string
@@ -144,6 +148,12 @@ class PhaseSim
     /** Simulated cycles this phase covered. */
     Cycles horizon() const { return endCycle; }
 
+    /** This phase's per-epoch telemetry (DESIGN.md §14): link
+     *  utilization and DRAM request rate per pacer epoch, sampled
+     *  on the simulated clock. The pid-2 trace counter events
+     *  re-emit these samples, so the two channels cannot drift. */
+    const obs::TimeSeries &timeseries() const { return series; }
+
   private:
     struct Outstanding
     {
@@ -180,7 +190,7 @@ class PhaseSim
                      std::uint64_t next_instr) const;
     void finishCore(CoreState &c);
     void pace();
-    void traceEpoch();
+    void sampleEpoch(bool emit_trace);
     bool allDetailedDone() const;
 
     // --- memory system (asynchronous request path) ---
@@ -223,7 +233,12 @@ class PhaseSim
     std::uint64_t missCount = 0;
     bool stop = false;
 
-    // Simulated-timeline counter-event state (trace only).
+    // Simulated-timeline epoch telemetry: the deterministic series
+    // is the single source; trace counter events re-emit from it.
+    static constexpr obs::TimeSeries::StreamId noStream = ~0u;
+    obs::TimeSeries series;
+    std::array<obs::TimeSeries::StreamId, 3> linkStream{};
+    obs::TimeSeries::StreamId dramStream = noStream;
     std::array<std::uint64_t, 3> lastLinkBusy{};
     std::uint64_t lastDramRequests = 0;
     Cycles lastTraceCycle;
@@ -291,6 +306,28 @@ PhaseSim::PhaseSim(const SystemSetup &system_setup,
                 recs.begin();
         c.lastInstr = windowStart;
     }
+
+    // Telemetry streams: one linkUtil stream per link type present
+    // in the topology, plus the aggregate DRAM request rate. The
+    // reserve covers a generous-CPI estimate of the phase's pacer
+    // epochs so steady-state sampling rarely reallocates (regrowth
+    // past it is amortized and off the per-record path anyway).
+    std::size_t epochs_est =
+        static_cast<std::size_t>(
+            static_cast<double>(scale.detailInstructions()) * 4.0 /
+            static_cast<double>(pacerPeriod.value())) +
+        2;
+    linkStream.fill(noStream);
+    std::array<int, 3> link_types{};
+    for (const auto &link : topo.links())
+        ++link_types[static_cast<int>(link.type())];
+    for (int k = 0; k < 3; ++k) {
+        if (!link_types[k])
+            continue;
+        linkStream[k] = series.addStream(
+            std::string("linkUtil.") + linkTypeNames[k], epochs_est);
+    }
+    dramStream = series.addStream("dram.requests", epochs_est);
 
     // Modeled migrations: the window covers the first
     // detailFraction of the phase, so that share of the phase's
@@ -775,20 +812,26 @@ PhaseSim::pace()
         lastPaceInstr = instr;
         lastPaceCycle = now;
     }
-    if (obs::TraceSession::global().enabled())
-        traceEpoch();
+    // One sampling point feeds both telemetry channels (DESIGN.md
+    // §14): the deterministic series, and the trace counters that
+    // re-emit from it.
+    const bool tracing = obs::TraceSession::global().enabled();
+    if (tracing || obs::TimeSeriesSink::global().enabled())
+        sampleEpoch(tracing);
     if (!stop)
         q.scheduleAfter(pacerPeriod, [this] { pace(); });
 }
 
 void
-PhaseSim::traceEpoch()
+PhaseSim::sampleEpoch(bool emit_trace)
 {
-    // Per-pacer-epoch counter events on the simulated timeline
-    // (pid 2, one tid per phase; ts = simulated time in us). Busy
+    // Per-pacer-epoch samples on the simulated timeline. Busy
     // cycles are cumulative, so each epoch's utilization is the
-    // delta over the epoch.
-    obs::TraceSession &tr = obs::TraceSession::global();
+    // delta over the epoch. Samples land in the deterministic
+    // series first; the pid-2 counter events (one tid per phase,
+    // ts = simulated time in us) then re-emit the series' last
+    // values, so the trace file and the deterministic export share
+    // one source by construction.
     Cycles now = q.now();
     if (now <= lastTraceCycle)
         return;
@@ -804,30 +847,40 @@ PhaseSim::traceEpoch()
             ++cnt[k];
         }
     }
-    std::string tag = "phase" + std::to_string(phase_);
-    double ts_us = cyclesToNs(now) / 1000.0;
-    const char *names[3] = {"upi", "numalink", "cxl"};
-    obs::TraceArgs util;
+    std::uint64_t t = now.value();
     for (int k = 0; k < 3; ++k) {
-        if (!cnt[k])
+        if (linkStream[k] == noStream)
             continue;
-        util.add(names[k],
-                 static_cast<double>(busy[k] - lastLinkBusy[k]) /
-                     (dt * cnt[k]));
+        series.sample(linkStream[k], t,
+                      static_cast<double>(busy[k] - lastLinkBusy[k]) /
+                          (dt * cnt[k]));
         lastLinkBusy[k] = busy[k];
     }
-    tr.counterEvent(tag + ".linkUtil", ts_us, obs::tracePidSim,
-                    phase_, util.str());
-
     std::uint64_t req = 0;
     for (const auto &mc : mcs)
         req += mc.requests();
-    obs::TraceArgs dram;
-    dram.add("requests", req - lastDramRequests);
-    tr.counterEvent(tag + ".dram", ts_us, obs::tracePidSim, phase_,
-                    dram.str());
+    series.sample(dramStream, t,
+                  static_cast<double>(req - lastDramRequests));
     lastDramRequests = req;
     lastTraceCycle = now;
+
+    if (!emit_trace)
+        return;
+    obs::TraceSession &tr = obs::TraceSession::global();
+    std::string tag = "phase" + std::to_string(phase_);
+    double ts_us = cyclesToNs(now) / 1000.0;
+    obs::TraceArgs util;
+    for (int k = 0; k < 3; ++k) {
+        if (linkStream[k] == noStream)
+            continue;
+        util.add(linkTypeNames[k], series.lastValue(linkStream[k]));
+    }
+    tr.counterEvent(tag + ".linkUtil", ts_us, obs::tracePidSim,
+                    phase_, util.str());
+    obs::TraceArgs dram;
+    dram.add("requests", series.lastValue(dramStream));
+    tr.counterEvent(tag + ".dram", ts_us, obs::tracePidSim, phase_,
+                    dram.str());
 }
 
 bool
@@ -949,6 +1002,7 @@ TimingSim::run(const trace::WorkloadTrace &trace,
 {
     RunMetrics m;
     stats_ = obs::Snapshot();
+    timeseries_ = obs::TimeSeries();
     Cycles total_horizon;
     std::unique_ptr<MachineState> shared_machine;
     std::unique_ptr<MachineState> last_machine;
@@ -980,9 +1034,11 @@ TimingSim::run(const trace::WorkloadTrace &trace,
                         .str());
                 sims[i]->run();
             });
-        // Phase order is canonical here, so the merged snapshot is
-        // identical for any pool size.
+        // Phase order is canonical here, so the merged snapshot and
+        // series are identical for any pool size.
         const bool collect = obs::StatsSink::global().enabled();
+        const bool collect_ts =
+            obs::TimeSeriesSink::global().enabled();
         for (std::size_t i = 0; i < sims.size(); ++i) {
             sims[i]->accumulate(m);
             total_horizon += sims[i]->horizon();
@@ -992,6 +1048,9 @@ TimingSim::run(const trace::WorkloadTrace &trace,
                 stats_.merge(phasePrefix(static_cast<int>(i)),
                              reg.snapshot());
             }
+            if (collect_ts)
+                timeseries_.merge(phasePrefix(static_cast<int>(i)),
+                                  sims[i]->timeseries());
         }
         last_machine = std::move(machines.back());
     } else {
@@ -1000,6 +1059,8 @@ TimingSim::run(const trace::WorkloadTrace &trace,
         shared_machine->replicated =
             placement.replication.replicated;
         const bool collect = obs::StatsSink::global().enabled();
+        const bool collect_ts =
+            obs::TimeSeriesSink::global().enabled();
         for (int phase = 0; phase < scale.phases; ++phase) {
             PhaseSim sim(setup, scale, options, core, trace,
                          placement.checkpoints[phase], phase,
@@ -1017,6 +1078,9 @@ TimingSim::run(const trace::WorkloadTrace &trace,
                 sim.registerStats(reg);
                 stats_.merge(phasePrefix(phase), reg.snapshot());
             }
+            if (collect_ts)
+                timeseries_.merge(phasePrefix(phase),
+                                  sim.timeseries());
         }
     }
     MachineState &machine =

@@ -20,6 +20,7 @@
 #include "driver/metrics.hh"
 #include "driver/system_setup.hh"
 #include "driver/trace_sim.hh"
+#include "sim/obs/timeseries.hh"
 #include "sim/scale.hh"
 #include "trace/trace.hh"
 
@@ -105,12 +106,22 @@ class TimingSim
      */
     const obs::Snapshot &stats() const { return stats_; }
 
+    /**
+     * Per-epoch telemetry of the last run(): each phase's link
+     * utilization and DRAM request-rate streams merged under a
+     * "phaseNN." prefix in canonical phase order. Populated only
+     * while the obs::TimeSeriesSink is enabled; empty otherwise.
+     * Kept out of RunMetrics for the same reason as stats().
+     */
+    const obs::TimeSeries &timeseries() const { return timeseries_; }
+
   private:
     const SystemSetup &setup;
     SimScale scale;
     TimingOptions options;
     CoreModel core;
     obs::Snapshot stats_;
+    obs::TimeSeries timeseries_;
 };
 
 } // namespace driver

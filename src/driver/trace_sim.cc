@@ -9,8 +9,11 @@
 #include "core/tlb_annex.hh"
 #include "core/tlb_directory.hh"
 #include "mem/page_map.hh"
+#include "sim/annotations.hh"
 #include "sim/logging.hh"
+#include "sim/obs/audit.hh"
 #include "sim/obs/obs.hh"
+#include "sim/obs/timeseries.hh"
 #include "sim/rng.hh"
 #include "trace/columnar.hh"
 
@@ -114,6 +117,82 @@ pageSpan(const trace::WorkloadTrace &trace, PageNum &lo,
     return true;
 }
 
+/**
+ * Stream handles and delta state of the replay's per-phase
+ * telemetry (DESIGN.md §14). An aggregate with no user constructor
+ * so declaring one stays off the hot path; all real work happens in
+ * the cold helpers below, sampled once per migration phase with the
+ * phase number as timestamp.
+ */
+struct ReplayTelemetry
+{
+    obs::TimeSeries::StreamId poolPages = 0;
+    obs::TimeSeries::StreamId tlbMisses = 0;
+    obs::TimeSeries::StreamId tlbMissRate = 0;
+    obs::TimeSeries::StreamId migratedPages = 0;
+    obs::TimeSeries::StreamId shootdowns = 0;
+    std::uint64_t lastMisses = 0;
+    std::uint64_t lastAccesses = 0;
+    std::uint64_t lastShootdowns = 0;
+};
+
+// lint: cold-path telemetry stream registration, once per run when
+// the TimeSeriesSink is enabled
+STARNUMA_COLD_PATH void
+initReplayTelemetry(ReplayTelemetry &t, obs::TimeSeries &series,
+                    bool star, int phases)
+{
+    std::size_t cap = static_cast<std::size_t>(phases);
+    t.migratedPages = series.addStream("migratedPages", cap);
+    if (!star)
+        return;
+    t.poolPages = series.addStream("poolPages", cap);
+    t.tlbMisses = series.addStream("tlbMisses", cap);
+    t.tlbMissRate = series.addStream("tlbMissRate", cap);
+    t.shootdowns = series.addStream("shootdownsSent", cap);
+}
+
+// lint: cold-path once-per-phase telemetry sample, behind the
+// per-run sink gate
+STARNUMA_COLD_PATH void
+sampleReplayPhase(ReplayTelemetry &t, obs::TimeSeries &series,
+                  std::uint64_t phase, std::uint64_t regions_moved,
+                  std::uint64_t pages_moved, bool star,
+                  const core::RegionTracker &tracker,
+                  const mem::PageMap &pm, NodeId pool_node,
+                  const std::vector<core::TlbAnnex> &tlbs,
+                  const core::TlbDirectory &tlb_dir)
+{
+    std::uint64_t migrated =
+        regions_moved *
+            static_cast<std::uint64_t>(tracker.pagesPerRegion()) +
+        pages_moved;
+    series.sample(t.migratedPages, phase,
+                  static_cast<double>(migrated));
+    if (!star)
+        return;
+    series.sample(t.poolPages, phase,
+                  static_cast<double>(pm.pagesAt(pool_node)));
+    std::uint64_t misses = 0, accesses = 0;
+    for (const core::TlbAnnex &tlb : tlbs) {
+        misses += tlb.tlbMisses();
+        accesses += tlb.tlbMisses() + tlb.tlbHits();
+    }
+    std::uint64_t dm = misses - t.lastMisses;
+    std::uint64_t da = accesses - t.lastAccesses;
+    series.sample(t.tlbMisses, phase, static_cast<double>(dm));
+    series.sample(t.tlbMissRate, phase,
+                  da ? static_cast<double>(dm) /
+                           static_cast<double>(da)
+                     : 0.0);
+    t.lastMisses = misses;
+    t.lastAccesses = accesses;
+    std::uint64_t sent = tlb_dir.shootdownsSent();
+    series.sample(t.shootdowns, phase,
+                  static_cast<double>(sent - t.lastShootdowns));
+    t.lastShootdowns = sent;
+}
+
 } // anonymous namespace
 
 TraceSimResult
@@ -206,6 +285,14 @@ TraceSim::runDynamic(const trace::WorkloadTrace &trace)
     std::vector<core::RegionMigration> pending_regions;
     std::vector<core::PageMigration> pending_pages;
 
+    // lint: cold-path once-per-run telemetry gate behind one
+    // relaxed load; off in benchmarked replay.
+    const bool sample_ts = obs::TimeSeriesSink::global().enabled();
+    ReplayTelemetry telemetry;
+    if (sample_ts)
+        initReplayTelemetry(telemetry, result.timeseries, star,
+                            scale.phases);
+
     for (int phase = 0; phase < scale.phases; ++phase) {
         Checkpoint cp;
         cp.pageHome = snapshot(pm);
@@ -275,6 +362,13 @@ TraceSim::runDynamic(const trace::WorkloadTrace &trace)
         } else {
             pending_pages = perfect.decidePhase(pm);
         }
+        if (sample_ts)
+            sampleReplayPhase(telemetry, result.timeseries,
+                              static_cast<std::uint64_t>(phase + 1),
+                              pending_regions.size(),
+                              pending_pages.size(), star, tracker,
+                              pm, setup.sys.poolNode(), tlbs,
+                              tlb_dir);
         // lint: cold-path one checkpoint per phase
         result.checkpoints.push_back(std::move(cp));
     }
@@ -300,6 +394,10 @@ TraceSim::runDynamic(const trace::WorkloadTrace &trace)
             tlb_dir.registerStats(reg, "tlbDirectory");
         result.stats = reg.snapshot();
     }
+    // lint: cold-path once-per-run audit export behind one relaxed
+    // load; off in benchmarked replay.
+    if (obs::AuditSink::global().enabled())
+        result.audit = engine.audit();
     return result;
 }
 

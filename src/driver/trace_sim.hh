@@ -20,7 +20,9 @@
 #include "core/replication.hh"
 #include "driver/system_setup.hh"
 #include "sim/flat_map.hh"
+#include "sim/obs/audit.hh"
 #include "sim/obs/registry.hh"
+#include "sim/obs/timeseries.hh"
 #include "sim/scale.hh"
 #include "trace/trace.hh"
 
@@ -76,6 +78,23 @@ struct TraceSimResult
      * otherwise. Not serialized by save()/load().
      */
     obs::Snapshot stats;
+
+    /**
+     * Per-phase replay telemetry (DESIGN.md §14), sampled once per
+     * migration phase with the phase number as timestamp: pool
+     * occupancy, TLB miss count and rate, pages migrated, targeted
+     * shootdown messages. Populated only while the
+     * obs::TimeSeriesSink is enabled; empty otherwise. Not
+     * serialized by save()/load().
+     */
+    obs::TimeSeries timeseries;
+
+    /**
+     * The migration engine's structured Algorithm-1 decision log
+     * (DESIGN.md §14). Populated only while the obs::AuditSink is
+     * enabled; empty otherwise. Not serialized by save()/load().
+     */
+    obs::AuditLog audit;
 
     /**
      * Serialize the checkpoints (step B's output artifact, §IV-A2)

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Structured migration-decision audit log (DESIGN.md §14). Every
+ * Algorithm-1 evaluation that reaches a decision branch in
+ * core/migration.cc appends one AuditRecord: which phase, which
+ * region (and its first page), how its access count compared to the
+ * HI threshold, how large the candidate set was, which branch fired
+ * and — for victim evictions — why that victim was selected. The
+ * record order is the engine's deterministic decision order, so the
+ * serialized log is byte-identical for any STARNUMA_THREADS.
+ *
+ * Mitosis-style attribution (PAPERS.md): joining this log with the
+ * time series and the stats snapshot is what lets
+ * scripts/starnuma_report.py explain *why* each page moved, not
+ * just how many did.
+ *
+ * The process-wide aggregation point is AuditSink (analogue of
+ * StatsSink): each experiment's log lands under its
+ * "<workload>.<setup>" run key, activated by
+ * STARNUMA_AUDIT_OUT=<path> (bench flag: --audit-out).
+ */
+
+#ifndef STARNUMA_SIM_OBS_AUDIT_HH
+#define STARNUMA_SIM_OBS_AUDIT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/annotations.hh"
+#include "sim/sync.hh"
+
+namespace starnuma
+{
+namespace obs
+{
+
+/** Which Algorithm-1 arm decided a region's fate this phase. */
+enum class AuditBranch : std::uint8_t
+{
+    ToPool,             ///< hot + widely shared -> pooled memory
+    ToSharer,           ///< hot -> a random sharing socket
+    AlreadyPlaced,      ///< resident at a sharer: no move
+    SamePlacement,      ///< chosen destination equals current home
+    PingPongSuppressed, ///< migrated too often: suppressed
+    NoRoomBackoff,      ///< pool full, no cold victim: backed off
+    VictimEviction,     ///< evicted from the pool to make room
+};
+
+/** Stable lowerCamel name of @p b (trace/report vocabulary). */
+const char *auditBranchName(AuditBranch b);
+
+/** Human-readable selection reason of @p b's decision. */
+const char *auditBranchReason(AuditBranch b);
+
+/** One Algorithm-1 decision (field semantics in DESIGN.md §14). */
+struct AuditRecord
+{
+    std::uint32_t phase = 0;
+    AuditBranch branch = AuditBranch::ToSharer;
+    std::uint64_t region = 0;
+    std::uint64_t page = 0; ///< first page of the region
+    std::uint32_t sharers = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t hiThreshold = 0;
+    std::uint64_t loThreshold = 0;
+    std::uint32_t candidates = 0; ///< candidate-set size this phase
+    std::int32_t from = -1;
+    std::int32_t to = -1;
+};
+
+/**
+ * An append-only record list owned by one migration engine.
+ * Single-threaded per owner; cross-experiment aggregation goes
+ * through AuditSink.
+ */
+class AuditLog
+{
+  public:
+    /** Append one decision record. */
+    // lint: cold-path per-decision bookkeeping inside the
+    // once-per-phase Algorithm 1 pass
+    STARNUMA_COLD_PATH void append(const AuditRecord &r);
+
+    void reserve(std::size_t n) { recs.reserve(n); }
+    bool empty() const { return recs.empty(); }
+    std::size_t size() const { return recs.size(); }
+
+    const std::vector<AuditRecord> &
+    records() const
+    {
+        return recs;
+    }
+
+    /**
+     * CSV rows of this log (no header), each prefixed with
+     * @p run and a per-run sequence number. Column order is
+     * auditCsvHeader().
+     */
+    std::string csvRows(const std::string &run) const;
+
+    /** JSON array of record objects (fields in CSV column order). */
+    std::string jsonArray() const;
+
+  private:
+    std::vector<AuditRecord> recs;
+};
+
+/** Header row matching AuditLog::csvRows. */
+const char *auditCsvHeader();
+
+/**
+ * Aggregates audit logs across every experiment of the process,
+ * keyed by run ("<workload>.<setup>"). Thread safe; exports sort by
+ * run key and keep each run's deterministic record order, so the
+ * written artifact is independent of completion order.
+ */
+class AuditSink
+{
+  public:
+    /** The process-wide sink. First use auto-starts it when
+     *  STARNUMA_AUDIT_OUT is set (an atexit hook then writes the
+     *  file on shutdown). */
+    static AuditSink &global();
+
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Enable collection; write() targets @p path ("" = explicit
+     *  writeTo only). */
+    void start(const std::string &path);
+
+    /** Disable and drop everything collected so far. */
+    void stop();
+
+    /** Take @p log in under run key @p run (no-op when disabled). */
+    void add(const std::string &run, const AuditLog &log);
+
+    /** Records collected so far, over all runs. */
+    std::size_t size() const;
+
+    /** The collected logs as CSV (header + rows, runs sorted). */
+    std::string collectCsv() const;
+
+    /** The collected logs as a JSON object keyed by run. */
+    std::string collectJson() const;
+
+    /**
+     * Write the collected logs to @p path: CSV, or JSON when the
+     * path ends in ".json". @return false on IO error.
+     */
+    bool writeTo(const std::string &path) const;
+
+    /** writeTo the configured path; true when nothing to do. */
+    bool write() const;
+
+  private:
+    AuditSink() = default;
+
+    mutable Mutex mu;
+    // Same contract as StatsSink::enabled_ (see sim/obs/obs.hh).
+    std::atomic<bool> enabled_{false};
+    std::string path_ STARNUMA_GUARDED_BY(mu);
+    std::map<std::string, AuditLog> byRun STARNUMA_GUARDED_BY(mu);
+};
+
+} // namespace obs
+} // namespace starnuma
+
+#endif // STARNUMA_SIM_OBS_AUDIT_HH

@@ -118,11 +118,8 @@ Snapshot::csv() const
     return out;
 }
 
-namespace
-{
-
 bool
-validPath(const std::string &path)
+validStatPath(const std::string &path)
 {
     if (path.empty())
         return false;
@@ -136,12 +133,10 @@ validPath(const std::string &path)
     return true;
 }
 
-} // anonymous namespace
-
 void
 Registry::add(const std::string &path, Producer p)
 {
-    sn_assert(validPath(path),
+    sn_assert(validStatPath(path),
               "invalid stats path '%s' (allowed: [A-Za-z0-9._/-])",
               path.c_str());
     auto [it, inserted] = entries.emplace(path, std::move(p));

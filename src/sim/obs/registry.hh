@@ -41,6 +41,10 @@ std::string formatCount(std::uint64_t v);
 /** Escape @p s for inclusion inside a JSON string literal. */
 std::string jsonEscape(const std::string &s);
 
+/** True when @p path is a well-formed dotted stats/stream path
+ *  (non-empty, chars limited to [A-Za-z0-9._/-]). */
+bool validStatPath(const std::string &path);
+
 /**
  * A sorted (path -> formatted value) snapshot of registered stats.
  * Values are stored pre-formatted so merging and exporting are pure

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Deterministic per-epoch metric streams (DESIGN.md §14). A
+ * TimeSeries is a per-owner set of named streams sampled on the
+ * *simulated* clock — per pacer epoch in the timing simulation, per
+ * migration phase in the trace replay — stored in flat columnar
+ * buffers (one timestamp column and one value column per stream,
+ * capacity reserved at registration) so sampling never allocates.
+ * Exports are byte-stable: streams sort lexicographically, samples
+ * keep their append order (simulated time is deterministic), and
+ * numbers go through the shared shortest-round-trip formatter, so
+ * artifacts are byte-identical for any STARNUMA_THREADS.
+ *
+ * The process-wide aggregation point is TimeSeriesSink, the exact
+ * analogue of obs::StatsSink: experiments merge their series in
+ * under a "<workload>.<setup>." prefix, every emission site is
+ * gated on one relaxed atomic load, and the merged artifact is
+ * written as sorted-key JSON (or CSV) at exit when
+ * STARNUMA_TIMESERIES_OUT is set (bench flag: --timeseries-out).
+ */
+
+#ifndef STARNUMA_SIM_OBS_TIMESERIES_HH
+#define STARNUMA_SIM_OBS_TIMESERIES_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/annotations.hh"
+#include "sim/sync.hh"
+
+namespace starnuma
+{
+namespace obs
+{
+
+/**
+ * A set of named per-epoch metric streams with columnar storage.
+ * Single-threaded per owner (one per phase machine, one per
+ * trace-sim run), like obs::Registry; cross-experiment aggregation
+ * goes through TimeSeriesSink.
+ */
+class TimeSeries
+{
+  public:
+    /** Index of a registered stream; valid for this object only. */
+    using StreamId = std::uint32_t;
+
+    /**
+     * Register a stream under a dotted path and reserve room for
+     * @p capacity samples (sampling beyond it still works, it just
+     * pays an amortized regrowth). Panics on a duplicate or
+     * malformed path — stream registration is a programming
+     * interface, exactly like Registry::add.
+     */
+    StreamId addStream(const std::string &path,
+                       std::size_t capacity = 0);
+
+    /** Append one (t, value) sample. @p t is the stream's simulated
+     *  timestamp: cycles in the timing sim, phase number in the
+     *  trace sim. */
+    // lint: cold-path per-epoch sampling point, off the per-record
+    // path by construction (pacer epochs / phase boundaries)
+    STARNUMA_COLD_PATH void sample(StreamId stream, std::uint64_t t,
+                                   double value);
+
+    std::size_t streams() const { return cols.size(); }
+    bool empty() const;
+
+    /** Samples appended to @p stream so far. */
+    std::size_t samples(StreamId stream) const;
+
+    /** The last value appended to @p stream (0.0 when empty): the
+     *  single source the trace counter events re-emit from. */
+    double lastValue(StreamId stream) const;
+
+    /** Copy every stream of @p other in under @p prefix. */
+    void merge(const std::string &prefix, const TimeSeries &other);
+
+    /**
+     * "stream,t,value" CSV with a header row; streams sorted by
+     * path, samples in append order.
+     */
+    std::string csv() const;
+
+    /**
+     * One JSON object, keys sorted: each stream maps to
+     * {"t": [...], "v": [...]} column arrays.
+     */
+    std::string json() const;
+
+  private:
+    struct Column
+    {
+        std::string path;
+        std::vector<std::uint64_t> ts;
+        std::vector<double> vals;
+    };
+
+    const Column *find(const std::string &path) const;
+
+    /** Columns in registration order; exports sort by path. */
+    std::vector<Column> cols;
+};
+
+/**
+ * Aggregates deterministic time series across every experiment of
+ * the process. Thread safe: concurrent sweep entries merge their
+ * series under distinct prefixes and exports sort by stream path,
+ * so the written artifact is independent of completion order.
+ */
+class TimeSeriesSink
+{
+  public:
+    /** The process-wide sink. First use auto-starts it when
+     *  STARNUMA_TIMESERIES_OUT is set (an atexit hook then writes
+     *  the file on shutdown). */
+    static TimeSeriesSink &global();
+
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Enable collection; write() targets @p path ("" = explicit
+     *  writeTo only). */
+    void start(const std::string &path);
+
+    /** Disable and drop everything collected so far. */
+    void stop();
+
+    /** Merge @p series in under @p prefix (no-op when disabled). */
+    void add(const std::string &prefix, const TimeSeries &series);
+
+    /** Copy of everything collected so far. */
+    TimeSeries collect() const;
+
+    /**
+     * Write the collected series to @p path: JSON, or CSV when the
+     * path ends in ".csv". @return false on IO error.
+     */
+    bool writeTo(const std::string &path) const;
+
+    /** writeTo the configured path; true when nothing to do. */
+    bool write() const;
+
+  private:
+    TimeSeriesSink() = default;
+
+    mutable Mutex mu;
+    // Same contract as StatsSink::enabled_: a pure emission gate
+    // read with one relaxed load per would-be emission; all data it
+    // gates is accessed under mu, and add() re-checks under the
+    // lock so a series never lands in a sink stop() already
+    // cleared.
+    std::atomic<bool> enabled_{false};
+    std::string path_ STARNUMA_GUARDED_BY(mu);
+    TimeSeries merged STARNUMA_GUARDED_BY(mu);
+};
+
+} // namespace obs
+} // namespace starnuma
+
+#endif // STARNUMA_SIM_OBS_TIMESERIES_HH

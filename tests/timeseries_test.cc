@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Time-series telemetry and migration audit log tests (DESIGN.md
+ * §14): columnar TimeSeries storage and lastValue single-sourcing,
+ * CSV/JSON export goldens, duplicate/malformed stream-path panics,
+ * AuditLog serialization (branch vocabulary, CSV/JSON framing), and
+ * the sink byte-stability guarantee — both deterministic artifacts
+ * are byte-identical for thread-pool sizes 1/4/8.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "driver/experiment.hh"
+#include "sim/obs/audit.hh"
+#include "sim/obs/timeseries.hh"
+#include "sim/parallel.hh"
+
+namespace starnuma
+{
+namespace
+{
+
+// --- TimeSeries storage ---
+
+TEST(TimeSeries, SampleAndLastValue)
+{
+    obs::TimeSeries ts;
+    EXPECT_TRUE(ts.empty());
+    obs::TimeSeries::StreamId a = ts.addStream("link.util", 4);
+    obs::TimeSeries::StreamId b = ts.addStream("dram.requests");
+    EXPECT_EQ(ts.streams(), 2u);
+    EXPECT_DOUBLE_EQ(ts.lastValue(a), 0.0);
+
+    ts.sample(a, 2000, 0.25);
+    ts.sample(a, 22000, 0.5);
+    ts.sample(b, 2000, 17.0);
+    EXPECT_FALSE(ts.empty());
+    EXPECT_EQ(ts.samples(a), 2u);
+    EXPECT_EQ(ts.samples(b), 1u);
+    // lastValue is the single source the trace counters re-emit
+    // from (satellite: trace and export can never drift).
+    EXPECT_DOUBLE_EQ(ts.lastValue(a), 0.5);
+    EXPECT_DOUBLE_EQ(ts.lastValue(b), 17.0);
+
+    // Sampling past the reserved capacity regrows, never drops.
+    for (std::uint64_t i = 0; i < 64; ++i)
+        ts.sample(a, 42000 + i, 1.0);
+    EXPECT_EQ(ts.samples(a), 66u);
+}
+
+TEST(TimeSeries, CsvGoldenSortedByPath)
+{
+    obs::TimeSeries ts;
+    obs::TimeSeries::StreamId z = ts.addStream("z.late");
+    obs::TimeSeries::StreamId a = ts.addStream("a.early");
+    ts.sample(z, 1, 2.0);
+    ts.sample(a, 1, 0.5);
+    ts.sample(a, 2, 3.0);
+    // Streams sort lexicographically regardless of registration
+    // order; whole numbers print without a fraction.
+    EXPECT_EQ(ts.csv(),
+              "stream,t,value\n"
+              "a.early,1,0.5\n"
+              "a.early,2,3\n"
+              "z.late,1,2\n");
+}
+
+TEST(TimeSeries, JsonGoldenColumnArrays)
+{
+    obs::TimeSeries ts;
+    EXPECT_EQ(ts.json(), "{}\n");
+    obs::TimeSeries::StreamId a = ts.addStream("a.b");
+    ts.sample(a, 2000, 0.25);
+    ts.sample(a, 22000, 4.0);
+    EXPECT_EQ(ts.json(),
+              "{\n"
+              "  \"a.b\": {\"t\": [2000,22000], "
+              "\"v\": [0.25,4]}\n"
+              "}\n");
+}
+
+TEST(TimeSeries, MergePrefixesStreams)
+{
+    obs::TimeSeries inner;
+    obs::TimeSeries::StreamId s = inner.addStream("dram.requests");
+    inner.sample(s, 2000, 9.0);
+
+    obs::TimeSeries outer;
+    outer.merge("bfs.starnuma.timing.", inner);
+    EXPECT_EQ(outer.streams(), 1u);
+    EXPECT_EQ(outer.csv(),
+              "stream,t,value\n"
+              "bfs.starnuma.timing.dram.requests,2000,9\n");
+}
+
+TEST(TimeSeriesDeathTest, DuplicateStreamPathPanics)
+{
+    obs::TimeSeries ts;
+    ts.addStream("a.b");
+    EXPECT_DEATH(ts.addStream("a.b"), "assertion");
+}
+
+TEST(TimeSeriesDeathTest, MalformedStreamPathPanics)
+{
+    obs::TimeSeries ts;
+    EXPECT_DEATH(ts.addStream("bad path"), "assertion");
+}
+
+// --- AuditLog serialization ---
+
+TEST(AuditLog, BranchVocabularyMatchesTraceNames)
+{
+    // The names are shared vocabulary with the Chrome-trace
+    // migration instants and scripts/starnuma_report.py; renaming
+    // one breaks the report's branch histograms.
+    EXPECT_STREQ(obs::auditBranchName(obs::AuditBranch::ToPool),
+                 "toPool");
+    EXPECT_STREQ(obs::auditBranchName(obs::AuditBranch::ToSharer),
+                 "toSharer");
+    EXPECT_STREQ(
+        obs::auditBranchName(obs::AuditBranch::VictimEviction),
+        "victimEviction");
+    EXPECT_STREQ(
+        obs::auditBranchName(obs::AuditBranch::PingPongSuppressed),
+        "pingPongSuppressed");
+    EXPECT_STREQ(
+        obs::auditBranchName(obs::AuditBranch::NoRoomBackoff),
+        "noRoomBackoff");
+    EXPECT_STREQ(
+        obs::auditBranchName(obs::AuditBranch::AlreadyPlaced),
+        "alreadyPlaced");
+    EXPECT_STREQ(
+        obs::auditBranchName(obs::AuditBranch::SamePlacement),
+        "samePlacement");
+    EXPECT_STRNE(
+        obs::auditBranchReason(obs::AuditBranch::VictimEviction),
+        "");
+}
+
+TEST(AuditLog, CsvRowsGolden)
+{
+    obs::AuditRecord r;
+    r.phase = 3;
+    r.branch = obs::AuditBranch::ToPool;
+    r.region = 7;
+    r.page = 448;
+    r.sharers = 4;
+    r.accesses = 90;
+    r.hiThreshold = 64;
+    r.loThreshold = 8;
+    r.candidates = 12;
+    r.from = 1;
+    r.to = 4;
+
+    obs::AuditLog log;
+    EXPECT_TRUE(log.empty());
+    log.append(r);
+    EXPECT_EQ(log.size(), 1u);
+    EXPECT_EQ(log.csvRows("bfs.starnuma"),
+              "bfs.starnuma,0,3,toPool,7,448,4,90,64,8,12,1,4,"
+              "\"sharers reached the pool threshold\"\n");
+    std::string json = log.jsonArray();
+    EXPECT_NE(json.find("\"branch\": \"toPool\""),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"candidates\": 12"), std::string::npos)
+        << json;
+}
+
+// --- sink byte-stability across pool sizes ---
+
+TEST(TimeSeriesSink, DisabledByDefaultAndDropsWhenStopped)
+{
+    obs::TimeSeriesSink &sink = obs::TimeSeriesSink::global();
+    ASSERT_FALSE(sink.enabled());
+
+    obs::TimeSeries ts;
+    obs::TimeSeries::StreamId s = ts.addStream("a.b");
+    ts.sample(s, 1, 1.0);
+    sink.add("pre.", ts); // disabled: no-op
+    EXPECT_TRUE(sink.collect().empty());
+
+    sink.start("");
+    sink.add("on.", ts);
+    EXPECT_EQ(sink.collect().streams(), 1u);
+    sink.stop();
+    EXPECT_FALSE(sink.enabled());
+    EXPECT_TRUE(sink.collect().empty());
+}
+
+TEST(TimeSeriesSink, ArtifactsByteIdenticalAcrossPoolSizes)
+{
+    SimScale s = SimScale::tiny();
+    obs::TimeSeriesSink &ts_sink = obs::TimeSeriesSink::global();
+    obs::AuditSink &audit_sink = obs::AuditSink::global();
+
+    struct Artifacts
+    {
+        std::string series;
+        std::string audit;
+    };
+    auto run_collect = [&](int pool_size) {
+        ThreadPool::setGlobalThreads(pool_size);
+        ts_sink.start("");
+        audit_sink.start("");
+        driver::runExperiment(
+            "bfs", driver::SystemSetup::starnuma(), s);
+        Artifacts a{ts_sink.collect().json(),
+                    audit_sink.collectCsv()};
+        ts_sink.stop();
+        audit_sink.stop();
+        return a;
+    };
+
+    Artifacts serial = run_collect(1);
+    EXPECT_GT(serial.series.size(), 3u);
+    EXPECT_NE(serial.audit.find("toPool"), std::string::npos);
+    for (int pool_size : {4, 8}) {
+        SCOPED_TRACE("pool=" + std::to_string(pool_size));
+        Artifacts a = run_collect(pool_size);
+        EXPECT_EQ(a.series, serial.series);
+        EXPECT_EQ(a.audit, serial.audit);
+    }
+    ThreadPool::setGlobalThreads(0);
+}
+
+} // namespace
+} // namespace starnuma
