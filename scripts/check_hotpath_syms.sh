@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Binary backstop for the D9 hot-path discipline (DESIGN.md §13).
+# Binary backstop for the D9 hot-path discipline (DESIGN.md §13)
+# and the D12 artifact-determinism discipline (DESIGN.md §15).
 #
 # The source-level analyzer (scripts/starnuma_hotpath.py) reasons
 # over names and can be fooled by calls through function pointers,
@@ -21,6 +22,14 @@
 #     their bodies legitimately contain allocator calls.
 #   * Indirect calls (`call *%rax`) carry no symbol and cannot be
 #     checked; the analyzer's over-approximation covers those.
+#
+# Second audit: artifact-writer symbols (the serializers behind
+# scripts/artifact_inputs.json) must not TRANSITIVELY call the
+# nondeterminism family — wall-clock reads, host RNG, environment
+# reads. Unlike the hot-path audit this one follows direct call
+# edges through the whole binary (BFS over the disassembly), since
+# a clock read two frames below the serializer corrupts the
+# artifact just the same.
 #
 # Usage: scripts/check_hotpath_syms.sh [build-dir]   (default: build)
 #
@@ -128,5 +137,89 @@ for pat in MANIFEST:
 print("check-hotpath-syms: %d hot symbols audited across %d "
       "manifest entries: %s"
       % (checked, len(MANIFEST), "FAIL" if fail else "clean"))
-sys.exit(1 if fail else 0)
+
+# ---- Artifact-writer determinism audit (transitive) ----------------
+
+# Demangled-name regexes of artifact serializer entry points. Every
+# entry must match at least one defined symbol.
+ARTIFACT_MANIFEST = [
+    r"starnuma::driver::TraceSimResult::save\(",
+    r"starnuma::trace::WorkloadTrace::save\(",
+    r"starnuma::trace::encodeColumnar\(",
+    r"starnuma::trace::saveColumnar\(",
+]
+
+# Base call-target names (before '(' or '@') that make an artifact
+# nondeterministic when reached from a serializer.
+ARTIFACT_BANNED = frozenset((
+    "clock_gettime", "gettimeofday", "time", "clock",
+    "getenv", "secure_getenv",
+    "rand", "srand", "random", "srandom", "rand_r", "drand48",
+    "pthread_self", "gettid",
+))
+# Demangled prefixes banned outright (any std::chrono clock read).
+ARTIFACT_BANNED_PREFIXES = (
+    "std::chrono::_V2::steady_clock::now",
+    "std::chrono::_V2::system_clock::now",
+    "std::chrono::steady_clock::now",
+    "std::chrono::system_clock::now",
+)
+
+
+def base_name(target):
+    """'getenv@plt' -> 'getenv'; 'f(int)' -> 'f'."""
+    return re.split(r"[@(]", target, 1)[0].strip()
+
+
+# Direct call edges per defined symbol (main bodies and clones both
+# count: a .cold outlined path still executes).
+edges = {}
+for sym, insns in bodies.items():
+    outs = set()
+    for insn in insns:
+        m = CALL_TARGET.search(insn)
+        if m:
+            outs.add(m.group(1))
+    edges[sym] = outs
+
+afail = False
+aroots = 0
+for pat in ARTIFACT_MANIFEST:
+    rx = re.compile(pat)
+    roots = [s for s in bodies if rx.search(s)]
+    if not roots:
+        print("check-hotpath-syms: FAIL: no artifact symbol matches "
+              "/%s/ in %s (renamed? update ARTIFACT_MANIFEST)"
+              % (pat, sys.argv[1]))
+        afail = True
+        continue
+    aroots += len(roots)
+    for root in sorted(roots):
+        # BFS with parent pointers so a hit reports its witness path.
+        parent = {root: None}
+        queue = [root]
+        while queue:
+            sym = queue.pop(0)
+            for target in sorted(edges.get(sym, ())):
+                hit = (base_name(target) in ARTIFACT_BANNED or
+                       target.startswith(ARTIFACT_BANNED_PREFIXES))
+                if hit:
+                    chain = [target, sym]
+                    p = parent[sym]
+                    while p is not None:
+                        chain.append(p)
+                        p = parent[p]
+                    print("check-hotpath-syms: FAIL: artifact writer"
+                          " reaches nondeterministic call:\n    "
+                          + "\n    -> ".join(reversed(chain)))
+                    afail = True
+                if target in bodies and target not in parent:
+                    parent[target] = sym
+                    queue.append(target)
+
+print("check-hotpath-syms: %d artifact writer symbols audited "
+      "across %d manifest entries: %s"
+      % (aroots, len(ARTIFACT_MANIFEST),
+         "FAIL" if afail else "clean"))
+sys.exit(1 if (fail or afail) else 0)
 EOF

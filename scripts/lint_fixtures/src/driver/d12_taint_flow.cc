@@ -1,0 +1,64 @@
+// Fixture: D12 nondeterminism taint. Values born at taint sources
+// (wall clock, pointer-to-integer casts, unordered-container
+// iteration) flow through assignments, returns and parameters into
+// artifact sinks, and the analyzer reports the full chain. The
+// functions are cold-annotated so only the flow rule fires (the
+// registration discipline is d14_unregistered_sink.cc's job).
+// Never compiled; consumed by starnuma_taint.py --self-test.
+
+namespace starnuma
+{
+
+struct TimeSeries;
+struct Checkpoint;
+struct AuditLog;
+
+// The wall-clock read that starts the interprocedural flow.
+unsigned long
+d12HostNow()
+{
+    return static_cast<unsigned long>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+// Taint passes through a parameter and back out the return value.
+// lint: cold-path fixture scaffolding
+double
+d12Scale(unsigned long ns)
+{
+    return static_cast<double>(ns) / 1000.0;
+}
+
+// Source -> d12HostNow -> local -> d12Scale -> sink argument.
+// lint: cold-path fixture scaffolding
+void
+d12EmitSample(TimeSeries &series, int stream)
+{
+    unsigned long ns = d12HostNow();
+    double v = d12Scale(ns);
+    series.sample(stream, 0, v); // expect-lint: D12
+}
+
+// A pointer value laundered into an integer becomes checkpoint
+// bytes: ASLR makes it differ run to run.
+// lint: cold-path fixture scaffolding
+void
+d12StampCheckpoint(Checkpoint &cp, const char *buf)
+{
+    auto tag = reinterpret_cast<std::uintptr_t>(buf);
+    cp.header = tag; // expect-lint: D12
+}
+
+// Iteration order of an unordered container is
+// implementation-defined; emitting per-element values in that
+// order makes the audit artifact nondeterministic.
+// lint: cold-path fixture scaffolding
+void
+d12AuditVisitOrder(AuditLog &audit)
+{
+    std::unordered_map<int, int> visits;
+    for (const auto &kv : visits) // expect-lint: D1
+        audit.append(kv.second); // expect-lint: D12
+}
+
+} // namespace starnuma

@@ -1,0 +1,55 @@
+// Fixture: D12 escape hatches and allowed patterns — the same flow
+// shapes as d12_taint_flow.cc, each neutralized the sanctioned way:
+// a reviewed `// lint: taint-ok` on the sink line, the same escape
+// on the source line (killing every downstream flow), and a
+// documented STARNUMA_* getenv gate, which is recorded in the
+// artifact manifest instead of tainting. Must stay clean.
+// Never compiled; consumed by starnuma_taint.py --self-test.
+
+namespace starnuma
+{
+
+struct TimeSeries;
+
+// Escape on the sink line: the emission is reviewed (a host-side
+// diagnostics channel, not a deterministic artifact).
+// lint: cold-path fixture scaffolding
+void
+d12EscapedSink(TimeSeries &series, int stream)
+{
+    const char *home = getenv("HOME");
+    double v = static_cast<double>(home != nullptr);
+    // lint: taint-ok fixture: host-diagnostics channel, reviewed
+    series.sample(stream, 0, v);
+}
+
+// Escape on the source line: every flow from this read is dead at
+// birth, so the downstream emission needs no annotation.
+unsigned long
+d12ReviewedNow()
+{
+    // lint: taint-ok fixture: wall-clock is the measured quantity
+    auto now = std::chrono::steady_clock::now();
+    return static_cast<unsigned long>(
+        now.time_since_epoch().count());
+}
+
+// lint: cold-path fixture scaffolding
+void
+d12EmitReviewed(TimeSeries &series, int stream)
+{
+    series.sample(stream, 0,
+                  static_cast<double>(d12ReviewedNow()));
+}
+
+// A STARNUMA_* getenv line is a documented configuration gate, not
+// a taint source; the analyzer records the variable name in the
+// artifact input manifest.
+int
+d12GateThreads()
+{
+    const char *v = getenv("STARNUMA_FIXTURE_THREADS");
+    return v != nullptr ? 1 : 0;
+}
+
+} // namespace starnuma

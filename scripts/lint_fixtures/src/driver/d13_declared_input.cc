@@ -1,0 +1,37 @@
+// Fixture: D13 clean artifact path. The artifact-root functions
+// read only declared inputs: a reviewed env read carries the
+// `// lint: declared-input` escape, and the STARNUMA_* gate line is
+// recorded in the artifact input manifest rather than flagged.
+// Must stay clean. Never compiled; consumed by starnuma_taint.py
+// --self-test.
+
+namespace starnuma
+{
+
+int
+d13FixtureLimit()
+{
+    // lint: declared-input fixture: documented replay knob
+    const char *v = getenv("FIXTURE_REPLAY_LIMIT");
+    return v != nullptr ? 2 : 8;
+}
+
+int
+d13GateDir()
+{
+    const char *v = getenv("STARNUMA_FIXTURE_DIR");
+    return v != nullptr ? 1 : 0;
+}
+
+// lint: artifact-root fixture_clean_blob
+// lint: cold-path fixture scaffolding
+void
+d13WriteCleanBlob()
+{
+    int limit = d13FixtureLimit();
+    int dir = d13GateDir();
+    (void)limit;
+    (void)dir;
+}
+
+} // namespace starnuma

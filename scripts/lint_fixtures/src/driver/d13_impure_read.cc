@@ -1,0 +1,39 @@
+// Fixture: D13 cache-key purity. Functions reachable from an
+// artifact root may only read declared inputs; a non-STARNUMA env
+// read and a wall-clock read in reachable helpers are undeclared
+// inputs and must be flagged at their site.
+// Never compiled; consumed by starnuma_taint.py --self-test.
+
+namespace starnuma
+{
+
+// Reachable helper that consults the host environment — an
+// undeclared input for a deterministic artifact.
+int
+d13PickBufferSize()
+{
+    const char *v = getenv("TMPDIR"); // expect-lint: D13
+    return v != nullptr ? 1 : 4096;
+}
+
+// Reachable helper that reads the wall clock.
+unsigned long
+d13Stamp()
+{
+    auto now = std::chrono::steady_clock::now(); // expect-lint: D13
+    return static_cast<unsigned long>(
+        now.time_since_epoch().count());
+}
+
+// lint: artifact-root fixture_blob
+// lint: cold-path fixture scaffolding
+void
+d13WriteBlob()
+{
+    int n = d13PickBufferSize();
+    unsigned long ts = d13Stamp();
+    (void)n;
+    (void)ts;
+}
+
+} // namespace starnuma

@@ -1,0 +1,42 @@
+// Fixture: D14 sink-registration discipline. A time-series emission
+// in a function that is neither a cold-annotated root nor reachable
+// from one is flagged; an emission reached from a cold root and a
+// reviewed `// lint: sink-ok` line pass.
+// Never compiled; consumed by starnuma_taint.py --self-test.
+
+namespace starnuma
+{
+
+struct TimeSeries;
+
+// No root anywhere above this: an unguarded emission that a hot
+// loop could call freely.
+void
+d14HotEmit(TimeSeries &series, int stream, double v)
+{
+    series.sample(stream, 0, v); // expect-lint: D14
+}
+
+// Reachable only from the cold root below: fine.
+void
+d14ReachableEmit(TimeSeries &series, int stream, double v)
+{
+    series.sample(stream, 1, v);
+}
+
+// lint: cold-path fixture: registration root
+void
+d14ColdRoot(TimeSeries &series)
+{
+    d14ReachableEmit(series, 0, 0.5);
+}
+
+// Line-level escape for a reviewed emission site.
+void
+d14EscapedEmit(TimeSeries &series, int stream, double v)
+{
+    // lint: sink-ok fixture: reviewed emission
+    series.sample(stream, 2, v);
+}
+
+} // namespace starnuma

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Single CI entry point: run the tier-1 test suite, the static gate
 # (scripts/run_lint.sh: starnuma-lint D1-D8, the D9-D11 hot-path
-# analyzer, WERROR builds, thread-safety analysis and clang-tidy),
+# analyzer, the D12-D14 taint/purity analyzer with its artifact
+# input manifest, WERROR builds, thread-safety analysis and
+# clang-tidy),
 # the analyze backstop (scripts/check_hotpath_syms.sh over the
 # release disassembly), and the sanitizer matrix
 # (scripts/run_sanitizers.sh: TSan and ASan+UBSan over ctest), then
@@ -12,10 +14,10 @@
 # this script is the one thing a CI job needs to invoke.
 #
 # Usage: scripts/run_ci.sh [stage ...]
-#   stages: tier1 lint clang-tsa clang-tidy analyze sanitizers obs
-#           bench
-#   (default: tier1 lint clang-tsa clang-tidy analyze sanitizers
-#    obs, in order; `obs` smoke-tests the observability pipeline —
+#   stages: tier1 lint taint clang-tsa clang-tidy analyze sanitizers
+#           obs bench
+#   (default: tier1 lint taint clang-tsa clang-tidy analyze
+#    sanitizers obs, in order; `obs` smoke-tests the observability pipeline —
 #    stats, Chrome trace, time series, audit log and the run-explain
 #    report (scripts/run_observability.sh). `bench` is opt-in — it
 #    re-measures step-B replay throughput and diffs against the
@@ -28,7 +30,8 @@ cd "$(dirname "$0")/.."
 
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-    stages=(tier1 lint clang-tsa clang-tidy analyze sanitizers obs)
+    stages=(tier1 lint taint clang-tsa clang-tidy analyze sanitizers
+            obs)
 fi
 
 names=()
@@ -119,6 +122,8 @@ for stage in "${stages[@]}"; do
       tier1)      run_stage "tier1 ctest" tier1 ;;
       lint)       run_stage "lint (D1-D11 + WERROR)" \
                             scripts/run_lint.sh python werror ;;
+      taint)      run_stage "taint (D12-D14 + artifact manifest)" \
+                            scripts/run_lint.sh taint ;;
       clang-tsa)  run_stage "clang thread-safety build" \
                             scripts/run_lint.sh clang-tsa ;;
       clang-tidy) run_stage "clang-tidy" \
@@ -133,8 +138,8 @@ for stage in "${stages[@]}"; do
                             bench_guard ;;
       *)
         echo "run_ci.sh: unknown stage '${stage}' (expected" \
-             "tier1|lint|clang-tsa|clang-tidy|analyze|sanitizers|" \
-             "obs|bench)" >&2
+             "tier1|lint|taint|clang-tsa|clang-tidy|analyze|" \
+             "sanitizers|obs|bench)" >&2
         exit 2
         ;;
     esac

@@ -9,6 +9,12 @@
 #                                         discipline D9-D11 (both
 #                                         with their fixture
 #                                         self-tests),
+#   taint      scripts/starnuma_taint.py  determinism-taint D12,
+#                                         cache-key purity D13, sink
+#                                         registration D14, plus the
+#                                         artifact_inputs.json
+#                                         manifest check and the
+#                                         lexer unit tests,
 #   werror     the STARNUMA_WERROR build  -Wshadow -Wconversion
 #                                         -Wdouble-promotion as hard
 #                                         errors (host compiler),
@@ -28,8 +34,8 @@
 # visible from the log.
 #
 # Usage: scripts/run_lint.sh [stage ...]
-#   stages: python werror clang-tsa clang-tidy
-#   (default: all four; the clang stages print a skip notice when
+#   stages: python taint werror clang-tsa clang-tidy
+#   (default: all five; the clang stages print a skip notice when
 #    LLVM is not installed)
 #
 # Exit status: 0 clean, 1 on findings/build errors, 2 on usage
@@ -41,7 +47,7 @@ cd "$(dirname "$0")/.."
 
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-    stages=(python werror clang-tsa clang-tidy)
+    stages=(python taint werror clang-tsa clang-tidy)
 fi
 
 fail=0
@@ -63,13 +69,33 @@ stage_end() {
     fi
 }
 
-stage_python() {
-    stage_begin "starnuma_lint + starnuma_hotpath: rules D1-D11"
-    local status=0
-    python3 scripts/starnuma_lint.py --self-test || status=1
-    python3 scripts/starnuma_lint.py || status=1
-    python3 scripts/starnuma_hotpath.py || status=1
+# All python-analyzer stages share one runner: a title plus a list
+# of commands, each of which must exit 0. Adding a checker is one
+# line in the relevant stage's list.
+run_checkers() {
+    local title=$1
+    shift
+    stage_begin "${title}"
+    local status=0 cmd
+    for cmd in "$@"; do
+        ${cmd} || status=1
+    done
     stage_end "${status}"
+}
+
+stage_python() {
+    run_checkers "starnuma_lint + starnuma_hotpath: rules D1-D11" \
+        "python3 scripts/starnuma_lint.py --self-test" \
+        "python3 scripts/starnuma_lint.py" \
+        "python3 scripts/starnuma_hotpath.py"
+}
+
+stage_taint() {
+    run_checkers "starnuma_taint: rules D12-D14 + artifact manifest" \
+        "python3 scripts/test_lint_core.py" \
+        "python3 scripts/starnuma_taint.py --self-test" \
+        "python3 scripts/starnuma_taint.py" \
+        "python3 scripts/starnuma_taint.py --check-manifest"
 }
 
 stage_werror() {
@@ -134,12 +160,13 @@ stage_clang_tidy() {
 for stage in "${stages[@]}"; do
     case "${stage}" in
       python)     stage_python ;;
+      taint)      stage_taint ;;
       werror)     stage_werror ;;
       clang-tsa)  stage_clang_tsa || true ;;
       clang-tidy) stage_clang_tidy || true ;;
       *)
         echo "run_lint.sh: unknown stage '${stage}'" \
-             "(expected python|werror|clang-tsa|clang-tidy)" >&2
+             "(expected python|taint|werror|clang-tsa|clang-tidy)" >&2
         exit 2
         ;;
     esac

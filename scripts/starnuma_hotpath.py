@@ -142,74 +142,19 @@ D11_ARITH_ALLOWED = (
 )
 
 
-class SourceFile:
-    __slots__ = ("rel", "raw_lines", "code_lines", "toks", "funcs")
-
-    def __init__(self, rel, raw):
-        self.rel = rel
-        self.raw_lines = raw.splitlines()
-        code = core.strip_comments_and_strings(raw)
-        self.code_lines = code.split("\n")
-        self.toks = core.tokenize(core.strip_preprocessor(code))
-        self.funcs = core.index_functions(self.toks, rel)
-        for f in self.funcs:
-            f.file_key = rel
-
-
-def load_tree(paths, root):
-    """rel -> SourceFile for every C++ file under @p paths."""
-    tree = {}
-    for path in core.iter_source_files(paths):
-        rel = core.relpath(path, root)
-        tree[rel] = SourceFile(rel, core.read_source(path))
-    return tree
-
-
-def line_annotated(sf, line, annotation):
-    """Annotation on 1-based @p line or the comment block above."""
-    if line < 1 or line > len(sf.raw_lines):
-        return False
-    return core.has_annotation_above(sf.raw_lines, line - 1,
-                                     annotation)
-
-
-def func_annotated(sf, f, annotation):
-    """Annotation anywhere on the declaration span (first decl line
-    through the body-opening line) or in the comment block above."""
-    lo = max(0, f.decl_line - 1)
-    hi = min(f.body_open_line, len(sf.raw_lines))
-    for j in range(lo, hi):
-        if annotation in sf.raw_lines[j]:
-            return True
-    return core.has_annotation_above(sf.raw_lines, lo, annotation)
+# Parsed-tree plumbing and the name-based call graph now live in the
+# shared core (starnuma_taint.py uses them too); keep local aliases
+# for the rule code below.
+SourceFile = core.SourceFile
+load_tree = core.load_tree
+line_annotated = core.line_annotated
+func_annotated = core.func_annotated
+CallGraph = core.CallGraph
 
 
 # -------------------------------------------------------------------
 # D9: interprocedural reachability.
 # -------------------------------------------------------------------
-
-class CallGraph:
-    def __init__(self, tree):
-        self.tree = tree
-        self.by_name = {}
-        self.ctor_classes = {}
-        for sf in tree.values():
-            for f in sf.funcs:
-                self.by_name.setdefault(f.name, []).append(f)
-                qual = f.qualname.split("::")[0]
-                if f.name == qual and "::" in f.qualname:
-                    self.ctor_classes.setdefault(qual, []).append(f)
-
-    def resolve(self, name, qual):
-        cands = self.by_name.get(name, [])
-        if qual:
-            exact = [f for f in cands
-                     if f.qualname == "%s::%s" % (qual, name)]
-            if exact:
-                return exact
-            if qual == "std":
-                return []
-        return cands
 
 
 def scan_hot_function(sf, f, graph, findings, seen_violations):

@@ -636,11 +636,14 @@ def self_test():
 
 def main(argv):
     if "--self-test" in argv:
-        # One ctest entry covers both checkers: the D1-D8 fixture
-        # round-trip here, then starnuma_hotpath's D9-D11 fixtures.
+        # One ctest entry covers the whole family: the D1-D8 fixture
+        # round-trip here, starnuma_hotpath's D9-D11 fixtures, then
+        # starnuma_taint's D12-D14 fixtures.
         rc = self_test()
         import starnuma_hotpath
-        return rc or starnuma_hotpath.self_test()
+        import starnuma_taint
+        return (rc or starnuma_hotpath.self_test()
+                or starnuma_taint.self_test())
     paths = [a for a in argv if not a.startswith("-")]
     if not paths:
         paths = [os.path.join(REPO_ROOT, "src"),

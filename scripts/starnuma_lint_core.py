@@ -45,9 +45,53 @@ class Finding:
         )
 
 
+def _is_raw_string_start(text, i):
+    """True when the '\"' at @p i opens a raw string literal: it is
+    preceded by an 'R' that begins the literal (possibly behind a
+    u/U/L/u8 encoding prefix), not by an identifier that merely ends
+    in R."""
+    if i < 1 or text[i - 1] != "R":
+        return False
+    j = i - 2
+    # Optional encoding prefix directly before the R.
+    if j >= 0 and text[j] == "8" and j >= 1 and text[j - 1] == "u":
+        j -= 2
+    elif j >= 0 and text[j] in "uUL":
+        j -= 1
+    return j < 0 or not (text[j].isalnum() or text[j] == "_")
+
+
+def _is_digit_separator(text, i):
+    """True when the \"'\" at @p i is a C++14 digit separator: the
+    token it sits in starts with a digit (so ``0xDEAD'BEEF`` and
+    ``1'000'000`` pass while ``case'a'`` and ``L'x'`` do not)."""
+    if i < 1 or i + 1 >= len(text):
+        return False
+    if text[i + 1] not in "0123456789abcdefABCDEF":
+        return False
+    j = i - 1
+    while j >= 0 and (text[j].isalnum() or text[j] in "_.'"):
+        j -= 1
+    return j + 1 < i + 1 and text[j + 1].isdigit()
+
+
+def _blank_span(seg):
+    """@p seg with its interior blanked: the first and last chars
+    (the quotes) survive, every interior char becomes a space, and
+    newlines are preserved so a literal spanning physical lines (a
+    backslash continuation, a raw string) cannot collapse the line
+    structure."""
+    if len(seg) < 2:
+        return seg
+    return seg[0] + "".join(
+        ch if ch == "\n" else " " for ch in seg[1:-1]) + seg[-1]
+
+
 def strip_comments_and_strings(text):
-    """Blank out comments and string/char literals, preserving line
-    structure, so token scans do not fire inside either."""
+    """Blank out comments and string/char literals (including raw
+    strings), preserving line structure, so token scans do not fire
+    inside either. Digit separators (``1'000'000``) pass through
+    untouched instead of being misread as char-literal quotes."""
     out = []
     i, n = 0, len(text)
     while i < n:
@@ -64,14 +108,30 @@ def strip_comments_and_strings(text):
                 "".join(ch if ch == "\n" else " " for ch in text[i:j])
             )
             i = j
+        elif c == '"' and _is_raw_string_start(text, i):
+            # R"delim( ... )delim": no escapes; the terminator is the
+            # exact )delim" sequence. Newlines inside are preserved.
+            p = text.find("(", i + 1)
+            if p < 0:
+                out.append(c)
+                i += 1
+                continue
+            delim = text[i + 1:p]
+            term = ")" + delim + '"'
+            j = text.find(term, p + 1)
+            j = n if j < 0 else j + len(term)
+            out.append(_blank_span(text[i:j]))
+            i = j
+        elif c == "'" and _is_digit_separator(text, i):
+            out.append(c)
+            i += 1
         elif c in "\"'":
             quote = c
             j = i + 1
             while j < n and text[j] != quote:
                 j += 2 if text[j] == "\\" else 1
             j = min(j + 1, n)
-            out.append(quote + " " * (j - i - 2) + quote if j - i >= 2
-                       else text[i:j])
+            out.append(_blank_span(text[i:j]))
             i = j
         else:
             out.append(c)
@@ -200,8 +260,9 @@ def read_source(path):
 
 # Only '::' and '->' need to survive as units (qualification and
 # member access feed name resolution); every other operator may fall
-# apart into single characters without hurting the analysis.
-TOKEN_RE = re.compile(r"[A-Za-z_]\w*|\d[\w.]*|::|->|\S")
+# apart into single characters without hurting the analysis. Digit
+# separators ("'" between digits) stay inside the number token.
+TOKEN_RE = re.compile(r"[A-Za-z_]\w*|\d(?:[\w.]|'\w)*|::|->|\S")
 
 
 class Token:
@@ -258,7 +319,7 @@ class FunctionDef:
 
     __slots__ = ("name", "qualname", "rel", "decl_line", "name_line",
                  "body_open_line", "body_close_line", "body_start",
-                 "body_end", "file_key")
+                 "body_end", "param_start", "param_end", "file_key")
 
     def __init__(self, name, qualname, rel, decl_line, name_line):
         self.name = name
@@ -270,6 +331,8 @@ class FunctionDef:
         self.body_close_line = 0
         self.body_start = 0   # token index just inside '{'
         self.body_end = 0     # token index of the matching '}'
+        self.param_start = 0  # token index just inside the decl '('
+        self.param_end = 0    # token index of the matching ')'
         self.file_key = None  # set by the cross-file index
 
     def __repr__(self):
@@ -559,8 +622,16 @@ def index_functions(toks, rel):
                         toks[decl_idx].line if decl_idx < n
                         else toks[name_idx].line,
                         toks[name_idx].line)
+                    f.param_start = i + 1
+                    f.param_end = after - 1
                     f.body_open_line = toks[body].line
-                    pending[body] = f
+                    # First registration wins: a call expression in
+                    # a default argument or the last member
+                    # initializer of a constructor sits between the
+                    # real definition's '(' and its body '{', and
+                    # must not steal the body from the definition
+                    # that already claimed it.
+                    pending.setdefault(body, f)
             i += 1
             continue
 
@@ -586,3 +657,120 @@ def index_functions(toks, rel):
 
         i += 1
     return funcs
+
+
+# Tokens that never name a parameter (type keywords and qualifiers
+# that can end a declarator).
+_PARAM_NON_NAMES = frozenset((
+    "const", "constexpr", "volatile", "unsigned", "signed", "void",
+    "bool", "char", "short", "int", "long", "float", "double",
+    "auto", "struct", "class", "enum", "typename", "mutable",
+))
+
+
+def param_names(toks, f):
+    """Parameter names of a definition, in order; ``None`` for an
+    unnamed parameter (positions are preserved so call arguments can
+    be matched up). Default arguments and nested template/paren
+    groups are skipped."""
+    names = []
+    depth = 0
+    seg = []
+    j = f.param_start
+    while j <= f.param_end:
+        at_end = j == f.param_end
+        t = toks[j].text if not at_end else ","
+        if t in ("(", "[", "{", "<"):
+            depth += 1
+        elif t in (")", "]", "}", ">"):
+            depth = max(0, depth - 1)
+        elif t == "," and depth == 0:
+            if seg and not (len(seg) == 1 and seg[0] == "void"):
+                cut = seg.index("=") if "=" in seg else len(seg)
+                name = None
+                for s in reversed(seg[:cut]):
+                    if is_ident(s) and s not in _PARAM_NON_NAMES:
+                        name = s
+                        break
+                names.append(name)
+            seg = []
+            j += 1
+            continue
+        if depth == 0:
+            seg.append(t)
+        j += 1
+    return names
+
+
+class SourceFile:
+    """One parsed C++ file: raw lines for annotation lookup, masked
+    code lines for regex rules, and the token/function index for the
+    interprocedural analyzers."""
+
+    __slots__ = ("rel", "raw_lines", "code_lines", "toks", "funcs")
+
+    def __init__(self, rel, raw):
+        self.rel = rel
+        self.raw_lines = raw.splitlines()
+        code = strip_comments_and_strings(raw)
+        self.code_lines = code.split("\n")
+        self.toks = tokenize(strip_preprocessor(code))
+        self.funcs = index_functions(self.toks, rel)
+        for f in self.funcs:
+            f.file_key = rel
+
+
+def load_tree(paths, root):
+    """rel -> SourceFile for every C++ file under @p paths."""
+    tree = {}
+    for path in iter_source_files(paths):
+        rel = relpath(path, root)
+        tree[rel] = SourceFile(rel, read_source(path))
+    return tree
+
+
+def line_annotated(sf, line, annotation):
+    """Annotation on 1-based @p line or the comment block above."""
+    if line < 1 or line > len(sf.raw_lines):
+        return False
+    return has_annotation_above(sf.raw_lines, line - 1, annotation)
+
+
+def func_annotated(sf, f, annotation):
+    """Annotation anywhere on the declaration span (first decl line
+    through the body-opening line) or in the comment block above."""
+    lo = max(0, f.decl_line - 1)
+    hi = min(f.body_open_line, len(sf.raw_lines))
+    for j in range(lo, hi):
+        if annotation in sf.raw_lines[j]:
+            return True
+    return has_annotation_above(sf.raw_lines, lo, annotation)
+
+
+class CallGraph:
+    """Name-based over-approximate call resolution: a simple name
+    resolves to every indexed definition of that name; a qualified
+    call ``X::f`` prefers definitions of class X; ``std::f`` with no
+    indexed definition resolves to nothing."""
+
+    def __init__(self, tree):
+        self.tree = tree
+        self.by_name = {}
+        self.ctor_classes = {}
+        for sf in tree.values():
+            for f in sf.funcs:
+                self.by_name.setdefault(f.name, []).append(f)
+                qual = f.qualname.split("::")[0]
+                if f.name == qual and "::" in f.qualname:
+                    self.ctor_classes.setdefault(qual, []).append(f)
+
+    def resolve(self, name, qual):
+        cands = self.by_name.get(name, [])
+        if qual:
+            exact = [f for f in cands
+                     if f.qualname == "%s::%s" % (qual, name)]
+            if exact:
+                return exact
+            if qual == "std":
+                return []
+        return cands

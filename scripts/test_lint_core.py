@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""Unit tests for the lexing layer shared by the starnuma lint
+family (starnuma_lint_core.py): comment/string stripping with raw
+strings and digit separators, preprocessor continuations, the
+tokenizer, the function indexer on gnarly declaration shapes, and
+parameter-name recovery.
+
+Run directly (``python3 scripts/test_lint_core.py``) or via ctest
+(``starnuma_lint_core_test``). No fixtures on disk: every input is
+an inline snippet, so a failure pinpoints the lexer feature that
+regressed.
+"""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import starnuma_lint_core as core
+
+
+def lex(src):
+    """The SourceFile pipeline up to tokens, for inline snippets."""
+    code = core.strip_preprocessor(core.strip_comments_and_strings(src))
+    return core.tokenize(code)
+
+
+def index(src):
+    return core.index_functions(lex(src), "test.cc")
+
+
+class StripTest(unittest.TestCase):
+    def test_raw_string_blanked(self):
+        out = core.strip_comments_and_strings(
+            'auto s = R"(rand() // "quoted" comment)";')
+        self.assertNotIn("rand", out)
+        self.assertNotIn("comment", out)
+        self.assertIn("auto s =", out)
+
+    def test_raw_string_custom_delimiter(self):
+        out = core.strip_comments_and_strings(
+            'auto s = R"xy(getenv(")xy"; int keep = 1;')
+        self.assertNotIn("getenv", out)
+        self.assertIn("int keep = 1;", out)
+
+    def test_raw_string_encoding_prefix(self):
+        out = core.strip_comments_and_strings(
+            'auto s = u8R"(secret)"; auto t = LR"(hidden)";')
+        self.assertNotIn("secret", out)
+        self.assertNotIn("hidden", out)
+
+    def test_identifier_ending_in_r_is_not_raw(self):
+        # ``FOOBAR"..."`` is a macro call-ish juxtaposition, not a
+        # raw string: the quote must parse as an ordinary literal.
+        out = core.strip_comments_and_strings('FOOBAR"text" x;')
+        self.assertIn("FOOBAR", out)
+        self.assertNotIn("text", out)
+
+    def test_raw_string_preserves_line_structure(self):
+        src = 'a = R"(line1\nline2\nline3)";\nint after;'
+        out = core.strip_comments_and_strings(src)
+        self.assertEqual(out.count("\n"), src.count("\n"))
+        self.assertNotIn("line2", out)
+        self.assertIn("int after;", out)
+
+    def test_digit_separators_survive(self):
+        src = "std::uint64_t n = 1'000'000 + 0xDEAD'BEEF;"
+        out = core.strip_comments_and_strings(src)
+        self.assertEqual(out, src)
+
+    def test_char_literal_still_blanked(self):
+        out = core.strip_comments_and_strings(
+            "case 'a': c = '\\n'; wide = L'x';")
+        self.assertNotIn("a", out.split("case", 1)[1].split(":", 1)[0])
+        self.assertNotIn("\\n", out)
+
+    def test_digit_separator_then_char_literal(self):
+        # A separator must not open a char literal that swallows the
+        # rest of the line.
+        out = core.strip_comments_and_strings("n = 1'000; f('q');")
+        self.assertIn("1'000", out)
+        self.assertNotIn("q", out)
+
+    def test_block_comment_preserves_newlines(self):
+        src = "int a; /* rand()\n more */ int b;"
+        out = core.strip_comments_and_strings(src)
+        self.assertEqual(out.count("\n"), 1)
+        self.assertNotIn("rand", out)
+        self.assertIn("int b;", out)
+
+    def test_preprocessor_continuation_blanked(self):
+        src = ("#define EMIT(x) \\\n"
+               "    series.sample(x)\n"
+               "int live;")
+        out = core.strip_preprocessor(
+            core.strip_comments_and_strings(src))
+        self.assertNotIn("sample", out)
+        self.assertIn("int live;", out)
+        self.assertEqual(out.count("\n"), src.count("\n"))
+
+
+class TokenizeTest(unittest.TestCase):
+    def test_line_numbers(self):
+        toks = lex("int a;\nint b;\n\nint c;")
+        lines = {t.text: t.line for t in toks if t.text in "abc"}
+        self.assertEqual(lines, {"a": 1, "b": 2, "c": 4})
+
+    def test_compound_tokens(self):
+        texts = [t.text for t in lex("a::b->c")]
+        self.assertEqual(texts, ["a", "::", "b", "->", "c"])
+
+    def test_separated_number_is_one_token(self):
+        texts = [t.text for t in lex("x = 0xFF'00 + 1'234;")]
+        self.assertIn("0xFF'00", texts)
+        self.assertIn("1'234", texts)
+
+
+class IndexTest(unittest.TestCase):
+    def test_nested_template_return_and_params(self):
+        funcs = index(
+            "std::map<int, std::vector<int>>\n"
+            "frob(std::pair<int, int> p,\n"
+            "     std::function<void(int)> cb)\n"
+            "{\n"
+            "    cb(p.first);\n"
+            "}\n")
+        self.assertEqual([f.qualname for f in funcs], ["frob"])
+        toks = lex(
+            "std::map<int, std::vector<int>>\n"
+            "frob(std::pair<int, int> p,\n"
+            "     std::function<void(int)> cb)\n"
+            "{\n"
+            "    cb(p.first);\n"
+            "}\n")
+        self.assertEqual(core.param_names(toks, funcs[0]), ["p", "cb"])
+
+    def test_class_scope_qualname(self):
+        funcs = index(
+            "struct Pool {\n"
+            "    int grab() { return 1; }\n"
+            "};\n"
+            "int free_fn() { return 2; }\n")
+        names = sorted(f.qualname for f in funcs)
+        self.assertEqual(names, ["Pool::grab", "free_fn"])
+
+    def test_ctor_init_list_call_does_not_steal_body(self):
+        # The last member initializer is a call expression directly
+        # before the body '{'; the indexer must keep the body on the
+        # constructor, not on a phantom function named after the
+        # member (regression: PhaseSim's 'lightCpi' phantom).
+        funcs = index(
+            "Pool::Pool(int n)\n"
+            "    : size(n), cap(grow(n * 2))\n"
+            "{\n"
+            "    touch();\n"
+            "}\n")
+        byname = {f.qualname: f for f in funcs}
+        self.assertIn("Pool::Pool", byname)
+        ctor = byname["Pool::Pool"]
+        self.assertGreater(ctor.body_end, ctor.body_start)
+        self.assertEqual(ctor.body_open_line, 3)
+
+    def test_control_keywords_not_indexed(self):
+        funcs = index(
+            "void f()\n"
+            "{\n"
+            "    if (x) { a(); }\n"
+            "    while (y) { b(); }\n"
+            "    for (;;) { break; }\n"
+            "}\n")
+        self.assertEqual([f.qualname for f in funcs], ["f"])
+
+    def test_body_spans_multiline_raw_string(self):
+        funcs = index(
+            "void g()\n"
+            "{\n"
+            '    auto s = R"(\n'
+            "        } not a real close\n"
+            '    )";\n'
+            "    tail();\n"
+            "}\n")
+        self.assertEqual(len(funcs), 1)
+        self.assertEqual(funcs[0].body_close_line, 7)
+
+
+class ParamNamesTest(unittest.TestCase):
+    def params_of(self, src):
+        toks = lex(src)
+        funcs = core.index_functions(toks, "test.cc")
+        self.assertEqual(len(funcs), 1)
+        return core.param_names(toks, funcs[0])
+
+    def test_defaults_cut(self):
+        self.assertEqual(
+            self.params_of("void f(int a = compute(1, 2), int b = 3)"
+                           " {}"),
+            ["a", "b"])
+
+    def test_unnamed_keeps_position(self):
+        self.assertEqual(
+            self.params_of("void f(int, double x, const char *) {}"),
+            [None, "x", None])
+
+    def test_void_list_empty(self):
+        self.assertEqual(self.params_of("void f(void) {}"), [])
+        self.assertEqual(self.params_of("void g() {}"), [])
+
+    def test_template_groups_skipped(self):
+        self.assertEqual(
+            self.params_of(
+                "void f(std::map<int, std::vector<double>> m,\n"
+                "       std::array<int, 4> a) {}"),
+            ["m", "a"])
+
+
+class AnnotationTest(unittest.TestCase):
+    def test_contiguous_comment_block(self):
+        raw = ["// lint: taint-ok reviewed",
+               "auto now = clock();"]
+        self.assertTrue(
+            core.has_annotation_above(raw, 1, "lint: taint-ok"))
+
+    def test_blank_line_keeps_block(self):
+        raw = ["// lint: taint-ok reviewed",
+               "",
+               "auto now = clock();"]
+        self.assertTrue(
+            core.has_annotation_above(raw, 2, "lint: taint-ok"))
+
+    def test_code_line_breaks_block(self):
+        raw = ["// lint: taint-ok reviewed",
+               "int unrelated;",
+               "auto now = clock();"]
+        self.assertFalse(
+            core.has_annotation_above(raw, 2, "lint: taint-ok"))
+
+
+if __name__ == "__main__":
+    unittest.main()

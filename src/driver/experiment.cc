@@ -49,6 +49,7 @@ std::atomic<std::uint64_t> traceCaptures{0};
 
 } // anonymous namespace
 
+// lint: artifact-root step_a_trace
 const trace::WorkloadTrace &
 workloadTrace(const std::string &name, const SimScale &scale)
 {

@@ -257,6 +257,8 @@ class PhaseSim
     Cycles endCycle;
 };
 
+// lint: cold-path one-time per-phase construction; telemetry
+// stream registration happens here, not on the access path
 PhaseSim::PhaseSim(const SystemSetup &system_setup,
                    const SimScale &sim_scale,
                    const TimingOptions &timing_options,
@@ -822,6 +824,8 @@ PhaseSim::pace()
         q.scheduleAfter(pacerPeriod, [this] { pace(); });
 }
 
+// lint: cold-path pacer-epoch telemetry; only invoked when a trace
+// session or time-series sink is enabled (see pace() gates)
 void
 PhaseSim::sampleEpoch(bool emit_trace)
 {

@@ -195,6 +195,7 @@ sampleReplayPhase(ReplayTelemetry &t, obs::TimeSeries &series,
 
 } // anonymous namespace
 
+// lint: artifact-root step_b_checkpoint
 TraceSimResult
 TraceSim::runDynamic(const trace::WorkloadTrace &trace)
 {
@@ -401,6 +402,7 @@ TraceSim::runDynamic(const trace::WorkloadTrace &trace)
     return result;
 }
 
+// lint: artifact-root step_b_checkpoint
 TraceSimResult
 TraceSim::runStaticOracle(const trace::WorkloadTrace &trace)
 {
@@ -517,6 +519,7 @@ sortedPages(const Pages &source)
 
 } // anonymous namespace
 
+// lint: artifact-root step_b_checkpoint
 bool
 TraceSimResult::save(const std::string &path) const
 {

@@ -18,9 +18,13 @@ thread_local int tlsWorker = -1;
 std::uint64_t
 steadyNowNs()
 {
+    // lint: taint-ok host-profiling uptime channel only; these
+    // wall-clock values feed stats gauges for operator dashboards
+    // and never enter deterministic simulation artifacts
+    auto now = std::chrono::steady_clock::now();
     return static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now().time_since_epoch())
+            now.time_since_epoch())
             .count());
 }
 

@@ -26,6 +26,7 @@ plausibleCount(std::uint64_t n, const ByteReader &r)
 
 } // anonymous namespace
 
+// lint: artifact-root step_a_trace
 std::vector<std::uint8_t>
 encodeColumnar(const WorkloadTrace &t)
 {
@@ -217,6 +218,7 @@ decodeColumnar(const std::uint8_t *data, std::size_t size,
     return true;
 }
 
+// lint: artifact-root step_a_trace
 bool
 saveColumnar(const WorkloadTrace &t, const std::string &path)
 {

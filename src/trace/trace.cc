@@ -45,6 +45,7 @@ WorkloadTrace::recordsPerKiloInstruction() const
                  : 0.0;
 }
 
+// lint: artifact-root step_a_trace
 bool
 WorkloadTrace::save(const std::string &path) const
 {

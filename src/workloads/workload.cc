@@ -13,6 +13,7 @@ namespace starnuma
 namespace workloads
 {
 
+// lint: artifact-root step_a_trace
 trace::WorkloadTrace
 Workload::capture(const SimScale &scale)
 {
