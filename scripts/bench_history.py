@@ -12,7 +12,8 @@ regresses by more than its threshold:
 
   --limit         default fractional tolerance       (default 0.10)
   --replay-limit  tolerance for wall-clock-sensitive (default 0.20)
-                  "replay.*" throughput metrics
+                  "replay.*" and "sweep.*" metrics (throughput,
+                  cells/sec, warm-pass speedup)
 
 Exits 1 when any shared metric regressed past its threshold; the
 `bench` stage of scripts/run_ci.sh drives it against the committed
@@ -40,8 +41,8 @@ def compare(baseline, current, limit, replay_limit):
     shared = sorted(set(baseline) & set(current))
     for key in shared:
         base, curr = float(baseline[key]), float(current[key])
-        threshold = replay_limit if key.startswith("replay.") \
-            else limit
+        threshold = replay_limit \
+            if key.startswith(("replay.", "sweep.")) else limit
         if base == 0.0:
             lines.append("  %-44s %12g -> %-12g (no baseline)"
                          % (key, base, curr))
@@ -92,7 +93,22 @@ def self_test():
     _, regressions = compare({"a.llc_mpki": 2.0}, {"a.llc_mpki": 1.0},
                              0.10, 0.20)
     assert regressions == [], regressions
-    print("bench-history self-test: 3 comparisons, OK")
+    # sweep.* metrics are higher-is-better and wall-clock class:
+    # a 15% speedup drop passes at the 20% replay-class limit, a
+    # hit-rate collapse fails even there.
+    sweep_base = {"sweep.warm_speedup": 100.0,
+                  "sweep.cache_hit_rate": 1.0}
+    _, regressions = compare(sweep_base,
+                             {"sweep.warm_speedup": 85.0,
+                              "sweep.cache_hit_rate": 1.0},
+                             0.10, 0.20)
+    assert regressions == [], regressions
+    _, regressions = compare(sweep_base,
+                             {"sweep.warm_speedup": 100.0,
+                              "sweep.cache_hit_rate": 0.5},
+                             0.10, 0.20)
+    assert regressions == ["sweep.cache_hit_rate"], regressions
+    print("bench-history self-test: 5 comparisons, OK")
     return 0
 
 

@@ -12,7 +12,8 @@ if [ ! -d build ]; then
     cmake -B build -G Ninja
 fi
 cmake --build build --target bench_fig08_main_results \
-    bench_table3_workloads bench_replay_throughput
+    bench_table3_workloads bench_replay_throughput \
+    bench_sweep_incremental
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -29,9 +30,15 @@ for i in 1 2 3; do
     STARNUMA_BENCH_FAST=1 ./build/bench/bench_replay_throughput \
         --bench-json="$tmp/replay$i.json" >/dev/null
 done
+# Incremental sweep: one cold-then-warm pass against a scratch store
+# (the sweep.* wall-clock metrics get the same loose replay-class
+# tolerance in bench_history.py, so a single measurement suffices).
+STARNUMA_CACHE_DIR="$tmp/sweep_cache" STARNUMA_BENCH_FAST=1 \
+    ./build/bench/bench_sweep_incremental \
+    --bench-json="$tmp/sweep.json" >/dev/null
 
 python3 - "$tmp/fig08.json" "$tmp/table3.json" \
-    "$tmp"/replay[123].json <<'EOF'
+    "$tmp"/replay[123].json "$tmp/sweep.json" <<'EOF'
 import json
 import os
 import re

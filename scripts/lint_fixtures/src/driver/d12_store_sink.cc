@@ -1,0 +1,51 @@
+// Fixture: Store::putObject is an artifact sink (DESIGN.md §16) —
+// bytes persisted in the content-addressed store are replayed as
+// artifacts on every later hit, so a nondeterministic payload is a
+// determinism-contract violation the moment it is written. The
+// violating writer folds a wall-clock stamp into the payload; the
+// passing writer persists only values derived from its inputs, and
+// a reviewed host-profiling stamp uses the `taint-ok` escape.
+// Never compiled; consumed by starnuma_taint.py --self-test.
+
+namespace starnuma
+{
+
+struct Store;
+
+// Wall-clock stamp folded into the persisted payload: a warm fetch
+// would replay a different byte image than a recompute produces.
+// lint: cold-path fixture scaffolding
+void
+d12StampedPut(Store &store, const std::string &key)
+{
+    auto stamp = static_cast<unsigned long>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    store.putObject(key, {static_cast<std::uint8_t>(stamp & 0xFF)}); // expect-lint: D12
+}
+
+// Clean writer: every persisted byte is a function of the inputs.
+// lint: cold-path fixture scaffolding
+void
+d12DerivedPut(Store &store, const std::string &key,
+              std::uint64_t value)
+{
+    std::vector<std::uint8_t> payload;
+    payload.push_back(static_cast<std::uint8_t>(value & 0xFF));
+    store.putObject(key, payload);
+}
+
+// Reviewed escape: a host-profiling side channel stored next to the
+// artifact bytes, never replayed into a deterministic output.
+// lint: cold-path fixture scaffolding
+void
+d12ReviewedPut(Store &store, const std::string &key)
+{
+    auto stamp = static_cast<unsigned long>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    std::vector<std::uint8_t> payload;
+    payload.push_back(static_cast<std::uint8_t>(stamp & 0xFF));
+    // lint: taint-ok fixture: profiling sidecar, reviewed
+    store.putObject(key, payload);
+}
+
+} // namespace starnuma

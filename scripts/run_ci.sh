@@ -15,15 +15,19 @@
 #
 # Usage: scripts/run_ci.sh [stage ...]
 #   stages: tier1 lint taint clang-tsa clang-tidy analyze sanitizers
-#           obs bench
+#           obs sweep bench
 #   (default: tier1 lint taint clang-tsa clang-tidy analyze
-#    sanitizers obs, in order; `obs` smoke-tests the observability pipeline —
-#    stats, Chrome trace, time series, audit log and the run-explain
-#    report (scripts/run_observability.sh). `bench` is opt-in — it
-#    re-measures step-B replay throughput and diffs against the
-#    committed BENCH_results.json with scripts/bench_history.py
-#    (20% tolerance on the wall-clock replay.* metrics), so only run
-#    it on quiet machines)
+#    sanitizers obs sweep, in order; `obs` smoke-tests the observability
+#    pipeline — stats, Chrome trace, time series, audit log and the
+#    run-explain report (scripts/run_observability.sh). `sweep`
+#    smoke-tests the incremental sweep engine: a cold pass against a
+#    fresh artifact store, a warm pass against the persisted objects,
+#    asserting full result-tier hit rate and cold/warm byte identity,
+#    then a scripts/cas_tool.py integrity audit of every stored
+#    object. `bench` is opt-in — it re-measures step-B replay
+#    throughput and diffs against the committed BENCH_results.json
+#    with scripts/bench_history.py (20% tolerance on the wall-clock
+#    replay.* and sweep.* metrics), so only run it on quiet machines)
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,7 +35,7 @@ cd "$(dirname "$0")/.."
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
     stages=(tier1 lint taint clang-tsa clang-tidy analyze sanitizers
-            obs)
+            obs sweep)
 fi
 
 names=()
@@ -70,6 +74,48 @@ analyze() {
     # backstop over the tier-1 build's disassembly.
     python3 scripts/starnuma_hotpath.py &&
         scripts/check_hotpath_syms.sh build
+}
+
+sweep_guard() {
+    # Cold pass against a fresh store, warm pass against the same
+    # store: the bench records the warm hit rate, the warm/cold
+    # speedup and a byte-identity bit; this stage turns those into
+    # hard assertions and then audits every persisted object with
+    # the Python store twin (scripts/cas_tool.py).
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo &&
+        cmake --build build -j "$(nproc)" \
+              --target bench_sweep_incremental || return 1
+    local tmp
+    tmp=$(mktemp -d) || return 1
+    # shellcheck disable=SC2064
+    trap "rm -rf '${tmp}'" RETURN
+    STARNUMA_CACHE_DIR="${tmp}/store" STARNUMA_BENCH_FAST=1 \
+        ./build/bench/bench_sweep_incremental \
+        --bench-json="${tmp}/sweep.json" || return 1
+    python3 - "${tmp}/sweep.json" <<'EOF' || return 1
+import json
+import sys
+
+with open(sys.argv[1]) as fh:
+    r = json.load(fh)["results"]
+failures = []
+if r.get("sweep.warm_equals_cold") != 1.0:
+    failures.append("warm artifacts are not byte-identical to cold")
+if r.get("sweep.cache_hit_rate", 0.0) < 1.0:
+    failures.append("warm hit rate %.2f < 1.00"
+                    % r.get("sweep.cache_hit_rate", 0.0))
+if r.get("sweep.warm_speedup", 0.0) < 5.0:
+    failures.append("warm speedup %.1fx < 5x"
+                    % r.get("sweep.warm_speedup", 0.0))
+for f in failures:
+    print("sweep stage: %s" % f)
+print("sweep stage: speedup %.1fx, hit rate %.2f, byte-identical %s"
+      % (r.get("sweep.warm_speedup", 0.0),
+         r.get("sweep.cache_hit_rate", 0.0),
+         "yes" if r.get("sweep.warm_equals_cold") == 1.0 else "NO"))
+sys.exit(1 if failures else 0)
+EOF
+    python3 scripts/cas_tool.py verify "${tmp}/store"
 }
 
 bench_guard() {
@@ -134,12 +180,14 @@ for stage in "${stages[@]}"; do
                             scripts/run_sanitizers.sh ;;
       obs)        run_stage "obs (telemetry + report smoke)" \
                             scripts/run_observability.sh ;;
+      sweep)      run_stage "sweep (cold/warm cache smoke)" \
+                            sweep_guard ;;
       bench)      run_stage "bench (replay regression guard)" \
                             bench_guard ;;
       *)
         echo "run_ci.sh: unknown stage '${stage}' (expected" \
              "tier1|lint|taint|clang-tsa|clang-tidy|analyze|" \
-             "sanitizers|obs|bench)" >&2
+             "sanitizers|obs|sweep|bench)" >&2
         exit 2
         ;;
     esac

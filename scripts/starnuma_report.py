@@ -255,10 +255,47 @@ def report_run(out, run, stats, series, audit, baseline_stats,
     out.write("\n")
 
 
+def report_cache(out, cache):
+    """Artifact-cache tier attribution (DESIGN.md §16): hit/miss
+    counts per tier, the differential-resume counters, store I/O and
+    the wall-clock split between serving hits and computing misses.
+    Rendered when a sweep ran with the cache enabled (runSweep
+    publishes the counters under 'sweep.cache.*')."""
+    out.write("=== artifact cache (sweep) ===\n\n")
+
+    def tier(name, hits, misses):
+        total = hits + misses
+        rate = ("  (%3.0f%% hit rate)" % (100.0 * hits / total)) \
+            if total else ""
+        out.write("  %-12s %6d hit / %6d miss%s\n"
+                  % (name, hits, misses, rate))
+
+    tier("trace tier", int(cache.get("traceHits", 0)),
+         int(cache.get("traceMisses", 0)))
+    tier("result tier", int(cache.get("resultHits", 0)),
+         int(cache.get("resultMisses", 0)))
+    out.write("  %-12s %6d partial hit(s), %d phase(s) skipped by "
+              "differential resume\n"
+              % ("state tier", int(cache.get("partialHits", 0)),
+                 int(cache.get("phasesSkipped", 0))))
+    out.write("  %-12s %6d byte(s) read, %d byte(s) written\n"
+              % ("store I/O", int(cache.get("bytesRead", 0)),
+                 int(cache.get("bytesWritten", 0))))
+    if "hitSeconds" in cache or "missSeconds" in cache:
+        out.write("  %-12s %.3fs serving hits, %.3fs computing "
+                  "misses\n"
+                  % ("wall time", float(cache.get("hitSeconds", 0)),
+                     float(cache.get("missSeconds", 0))))
+    out.write("\n")
+
+
 def render(stats_runs, series_runs, audit_runs, only_run, top_n):
     out = io.StringIO()
-    runs = sorted(set(stats_runs) | set(series_runs) |
-                  set(audit_runs))
+    # 'sweep.cache' is counter telemetry, not a (workload, setup)
+    # run; it gets its own section after the per-run reports.
+    cache = dict(stats_runs.get("sweep.cache", {}))
+    runs = sorted((set(stats_runs) | set(series_runs) |
+                   set(audit_runs)) - {"sweep.cache"})
     if only_run:
         runs = [r for r in runs if r == only_run]
         if not runs:
@@ -272,6 +309,8 @@ def render(stats_runs, series_runs, audit_runs, only_run, top_n):
                    stats_runs.get(baseline) if baseline else None,
                    baseline.split(".", 1)[1] if baseline else None,
                    top_n)
+    if cache and not only_run:
+        report_cache(out, cache)
     return out.getvalue()
 
 
@@ -290,6 +329,16 @@ SELFTEST_STATS = {
     "bfs.baseline.timing.phase00.cycles": 1000,
     "bfs.baseline.timing.phase01.instructions": 1000,
     "bfs.baseline.timing.phase01.cycles": 700,
+    "sweep.cache.traceHits": 6,
+    "sweep.cache.traceMisses": 2,
+    "sweep.cache.resultHits": 12,
+    "sweep.cache.resultMisses": 4,
+    "sweep.cache.partialHits": 1,
+    "sweep.cache.phasesSkipped": 3,
+    "sweep.cache.bytesRead": 4096,
+    "sweep.cache.bytesWritten": 8192,
+    "sweep.cache.hitSeconds": 0.002,
+    "sweep.cache.missSeconds": 1.25,
 }
 
 SELFTEST_TIMESERIES = {
@@ -350,6 +399,14 @@ Decision branches (3 Algorithm-1 decisions):
 Top migrated pages:
   page 128            1 moves  (toPool x1)
   page 192            1 moves  (toPool x1)
+
+=== artifact cache (sweep) ===
+
+  trace tier        6 hit /      2 miss  ( 75% hit rate)
+  result tier      12 hit /      4 miss  ( 75% hit rate)
+  state tier        1 partial hit(s), 3 phase(s) skipped by differential resume
+  store I/O      4096 byte(s) read, 8192 byte(s) written
+  wall time    0.002s serving hits, 1.250s computing misses
 
 """
 

@@ -142,6 +142,10 @@ METHOD_SINKS = {
     "add": ("StatsSink", "TimeSeriesSink", "AuditSink"),
     "set": ("Snapshot",),
     "setCount": ("Snapshot",),
+    "setFormatted": ("Snapshot",),
+    # Writes into the content-addressed artifact store persist
+    # artifact bytes (DESIGN.md §16).
+    "putObject": ("Store",),
 }
 # Free/utility functions that serialize artifact bytes directly.
 BARE_SINKS = frozenset((
@@ -180,9 +184,9 @@ CACHE_KEYS = {
     "step_a_trace": [
         "workload.name",
         "workload.parameters",
-        "scale.threads",
-        "scale.instructionsPerThread",
+        "scale",
         "trace.format_version",
+        "code.epoch",
     ],
     "step_b_checkpoint": [
         "trace.content",
@@ -192,6 +196,41 @@ CACHE_KEYS = {
         "rng.seed",
         "checkpoint.format_version",
     ],
+    # Per-phase resume snapshots of the incremental sweep engine
+    # (DESIGN.md §16): keyed by the policy-schedule *prefix* applied
+    # before the snapshot phase, so cells that diverge at phase k
+    # share every state object below k.
+    "step_b_state": [
+        "phase",
+        "workload.name",
+        "trace.content",
+        "setup.topology",
+        "setup.policy",
+        "policy.prefix",
+        "scale",
+        "rng.seed",
+        "checkpoint.format_version",
+        "code.epoch",
+    ],
+    # Full experiment-result bundles ("STARRES1"): metrics + the
+    # embedded step-B artifact + the stats snapshots.
+    "experiment_result": [
+        "workload.name",
+        "trace.content",
+        "setup.topology",
+        "setup.policy",
+        "policy.schedule",
+        "scale",
+        "rng.seed",
+        "obs.stats",
+        "checkpoint.format_version",
+        "result.format_version",
+        "code.epoch",
+    ],
+    # The key-derivation functions themselves (driver/artifact_key.cc)
+    # are artifact roots so D12 proves the keys read only declared,
+    # deterministic inputs; they have no key of their own.
+    "cache_key": [],
 }
 
 _DECL_NON_NAMES = frozenset((

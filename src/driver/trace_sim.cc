@@ -48,15 +48,25 @@ TraceSim::socketOf(ThreadId t) const
 // lint: hot-path root of the whole replay: everything reachable
 // from here runs per record unless explicitly marked cold.
 TraceSimResult
-TraceSim::run(const trace::WorkloadTrace &trace)
+TraceSim::run(const trace::WorkloadTrace &trace,
+              const PhaseStateHooks *hooks)
 {
     sn_assert(trace.threads == scale.threads(),
               "trace captured for %d threads, scale expects %d",
               trace.threads, scale.threads());
+    // Resume/capture envelope (DESIGN.md §16): only pooled dynamic
+    // runs serialize cleanly, and only with the telemetry sinks off
+    // (their streams are not part of the state image).
+    // lint: cold-path once-per-run telemetry-sink gate
+    const bool ts_on = obs::TimeSeriesSink::global().enabled();
+    // lint: cold-path once-per-run telemetry-sink gate
+    const bool audit_on = obs::AuditSink::global().enabled();
+    if (!setup.sys.hasPool || ts_on || audit_on)
+        hooks = nullptr;
     TraceSimResult result =
         setup.placement == Placement::StaticOracle
             ? runStaticOracle(trace)
-            : runDynamic(trace);
+            : runDynamic(trace, hooks);
     if (setup.replicateReadOnly)
         result.replication = core::planReplication(
             trace, scale.coresPerSocket, setup.sys.sockets,
@@ -193,16 +203,263 @@ sampleReplayPhase(ReplayTelemetry &t, obs::TimeSeries &series,
     t.lastShootdowns = sent;
 }
 
+// Checkpoint artifact format v2 ("STARCKP2"): varint/delta coded
+// with the sim/bytes.hh primitives. Collections are written in
+// sorted page order so artifacts stay byte-identical across runs.
+// The same encoders serve TraceSimResult::save()/load() and the
+// incremental sweep engine's per-phase resume snapshots
+// (DESIGN.md §16).
+constexpr std::uint64_t checkpointMagic = 0x53544152434b5032ULL;
+
+// Fixed 8-byte little-endian doubles (not the varint encoding of
+// sim/bytes.hh): format v2 predates the cache and its byte stream
+// must not change.
+void
+putDouble(std::vector<std::uint8_t> &out, double v)
+{
+    std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+    for (int i = 0; i < 8; ++i)
+        out.push_back(
+            static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+bool
+getDouble(trace::ByteReader &r, double &v)
+{
+    std::uint64_t bits = 0;
+    if (!r.getU64(bits))
+        return false;
+    v = std::bit_cast<double>(bits);
+    return true;
+}
+
+PageNum
+pageOf(const std::pair<PageNum, NodeId> &kv)
+{
+    return kv.first;
+}
+
+PageNum
+pageOf(PageNum page)
+{
+    return page;
+}
+
+/** Sorted copy of the pages in a flat page set/map. */
+template <typename Pages>
+std::vector<PageNum>
+sortedPages(const Pages &source)
+{
+    std::vector<PageNum> out;
+    out.reserve(source.size());
+    for (const auto &entry : source)
+        out.push_back(pageOf(entry));
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void
+putPageHome(std::vector<std::uint8_t> &buf,
+            const FlatMap<PageNum, NodeId> &home)
+{
+    putVarint(buf, home.size());
+    std::vector<PageNum> sorted = sortedPages(home);
+    std::uint64_t prev = 0;
+    for (PageNum page : sorted) {
+        putVarint(buf, page.value() - prev);
+        prev = page.value();
+        putVarint(buf, zigzag(home.at(page)));
+    }
+}
+
+bool
+getPageHome(trace::ByteReader &r, FlatMap<PageNum, NodeId> &home)
+{
+    std::uint64_t n = 0;
+    if (!r.getVarint(n) || n > r.remaining())
+        return false;
+    home.reserve(n);
+    std::uint64_t page = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t delta = 0, node = 0;
+        if (!r.getVarint(delta) || !r.getVarint(node))
+            return false;
+        page += delta;
+        home[PageNum(page)] =
+            static_cast<NodeId>(trace::unzigzag(node));
+    }
+    return true;
+}
+
+void
+putRegionMigrations(std::vector<std::uint8_t> &buf,
+                    const std::vector<core::RegionMigration> &ms)
+{
+    putVarint(buf, ms.size());
+    std::uint64_t prev_region = 0;
+    for (const core::RegionMigration &m : ms) {
+        putVarint(buf, zigzag(static_cast<std::int64_t>(
+                           m.region - prev_region)));
+        prev_region = m.region;
+        putVarint(buf, zigzag(m.from));
+        putVarint(buf, zigzag(m.to));
+        buf.push_back(m.victimEviction ? 1 : 0);
+    }
+}
+
+// lint: cold-path resume-state / checkpoint-artifact decode,
+// bounded by stored counts, never per replay record
+bool
+getRegionMigrations(trace::ByteReader &r,
+                    std::vector<core::RegionMigration> &ms)
+{
+    std::uint64_t n = 0;
+    if (!r.getVarint(n) || n > r.remaining())
+        return false;
+    ms.reserve(n);
+    std::uint64_t region = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t delta = 0, from = 0, to = 0;
+        std::uint8_t victim = 0;
+        if (!r.getVarint(delta) || !r.getVarint(from) ||
+            !r.getVarint(to) || !r.getBytes(&victim, 1))
+            return false;
+        region +=
+            static_cast<std::uint64_t>(trace::unzigzag(delta));
+        ms.push_back({region,
+                      static_cast<NodeId>(trace::unzigzag(from)),
+                      static_cast<NodeId>(trace::unzigzag(to)),
+                      victim != 0});
+    }
+    return true;
+}
+
+void
+putPageMigrations(std::vector<std::uint8_t> &buf,
+                  const std::vector<core::PageMigration> &ms)
+{
+    putVarint(buf, ms.size());
+    std::uint64_t prev_page = 0;
+    for (const core::PageMigration &m : ms) {
+        putVarint(buf, zigzag(static_cast<std::int64_t>(
+                           m.page.value() - prev_page)));
+        prev_page = m.page.value();
+        putVarint(buf, zigzag(m.from));
+        putVarint(buf, zigzag(m.to));
+    }
+}
+
+// lint: cold-path resume-state / checkpoint-artifact decode,
+// bounded by stored counts, never per replay record
+bool
+getPageMigrations(trace::ByteReader &r,
+                  std::vector<core::PageMigration> &ms)
+{
+    std::uint64_t n = 0;
+    if (!r.getVarint(n) || n > r.remaining())
+        return false;
+    ms.reserve(n);
+    std::uint64_t page = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t delta = 0, from = 0, to = 0;
+        if (!r.getVarint(delta) || !r.getVarint(from) ||
+            !r.getVarint(to))
+            return false;
+        page += static_cast<std::uint64_t>(trace::unzigzag(delta));
+        ms.push_back({PageNum(page),
+                      static_cast<NodeId>(trace::unzigzag(from)),
+                      static_cast<NodeId>(trace::unzigzag(to))});
+    }
+    return true;
+}
+
+void
+encodeCheckpoint(std::vector<std::uint8_t> &buf,
+                 const Checkpoint &cp)
+{
+    putPageHome(buf, cp.pageHome);
+    putRegionMigrations(buf, cp.regionMigrations);
+    putPageMigrations(buf, cp.pageMigrations);
+}
+
+bool
+decodeCheckpoint(trace::ByteReader &r, Checkpoint &cp)
+{
+    return getPageHome(r, cp.pageHome) &&
+           getRegionMigrations(r, cp.regionMigrations) &&
+           getPageMigrations(r, cp.pageMigrations);
+}
+
+/**
+ * Serialize the replay's full mutable state at the top of migration
+ * phase @p phase: page homes, per-thread replay cursors, the
+ * pending migrations decided by phase-1, the Algorithm-1 engine, the
+ * DiDi directory, every TLB annex, and the checkpoints already
+ * emitted. Restoring this image and replaying the remaining phases
+ * yields artifacts byte-identical to a cold run (Golden.WarmEqualsCold).
+ */
+// lint: cold-path once-per-phase resume snapshot
+// lint: artifact-root step_b_state
+STARNUMA_COLD_PATH void
+encodeResumeState(std::vector<std::uint8_t> &out, int phase,
+                  const mem::PageMap &pm,
+                  const std::vector<std::size_t> &cursor,
+                  const std::vector<core::RegionMigration> &pending_regions,
+                  const std::vector<core::PageMigration> &pending_pages,
+                  const core::MigrationEngine &engine,
+                  const core::TlbDirectory &tlb_dir,
+                  const std::vector<core::TlbAnnex> &tlbs,
+                  const std::vector<Checkpoint> &checkpoints)
+{
+    putVarint(out, checkpointMagic);
+    putVarint(out, static_cast<std::uint64_t>(phase));
+    pm.saveState(out);
+    putVarint(out, cursor.size());
+    for (std::size_t c : cursor)
+        putVarint(out, c);
+    putRegionMigrations(out, pending_regions);
+    putPageMigrations(out, pending_pages);
+    engine.saveState(out);
+    tlb_dir.saveState(out);
+    putVarint(out, tlbs.size());
+    for (const core::TlbAnnex &tlb : tlbs)
+        tlb.saveState(out);
+    putVarint(out, checkpoints.size());
+    for (const Checkpoint &cp : checkpoints)
+        encodeCheckpoint(out, cp);
+}
+
 } // anonymous namespace
 
-// lint: artifact-root step_b_checkpoint
 TraceSimResult
-TraceSim::runDynamic(const trace::WorkloadTrace &trace)
+TraceSim::runDynamic(const trace::WorkloadTrace &trace,
+                     const PhaseStateHooks *hooks)
+{
+    TraceSimResult result;
+    if (runDynamicImpl(trace, hooks, result))
+        return result;
+    // The resume image failed validation (stale, truncated or
+    // corrupted store object): demote to a clean cold run — never
+    // a wrong artifact (DESIGN.md §16).
+    result = TraceSimResult();
+    PhaseStateHooks cold;
+    if (hooks)
+        cold.onPhaseState = hooks->onPhaseState;
+    bool ok =
+        runDynamicImpl(trace, hooks ? &cold : nullptr, result);
+    sn_assert(ok, "cold replay cannot fail");
+    return result;
+}
+
+// lint: artifact-root step_b_checkpoint
+bool
+TraceSim::runDynamicImpl(const trace::WorkloadTrace &trace,
+                         const PhaseStateHooks *hooks,
+                         TraceSimResult &result)
 {
     const bool star = setup.sys.hasPool;
     const int nodes = setup.sys.sockets + (star ? 1 : 0);
 
-    TraceSimResult result;
     result.footprintPages = pagesIn(trace.footprintBytes);
     result.poolCapacityPages =
         star ? static_cast<std::uint64_t>(
@@ -223,10 +480,6 @@ TraceSim::runDynamic(const trace::WorkloadTrace &trace)
     }
 
     mem::PageMap pm(nodes);
-    if (spanPages > 0)
-        pm.preallocate(spanLo, spanPages);
-    for (const auto &ft : trace.firstTouches)
-        pm.touch(ft.page, socketOf(ft.thread));
 
     // Scale the per-phase migration budget to the footprint so the
     // modeled migration traffic stays proportional to the shrunken
@@ -243,7 +496,9 @@ TraceSim::runDynamic(const trace::WorkloadTrace &trace)
     }
 
     // StarNUMA machinery: shared metadata region, per-core TLB
-    // annexes, Algorithm 1 engine.
+    // annexes, Algorithm 1 engine. The tracker is reset at every
+    // phase boundary (scanAndReset), so a fresh preallocated one is
+    // bit-equivalent on resume and carries no serialized state.
     core::RegionTracker tracker(mig_cfg.counterBits,
                                 setup.sys.sockets,
                                 setup.regionBytes);
@@ -263,8 +518,6 @@ TraceSim::runDynamic(const trace::WorkloadTrace &trace)
                                            setup.name}));
     core::TlbDirectory tlb_dir(trace.threads);
     if (star) {
-        if (spanPages > 0)
-            tlb_dir.preallocate(spanLo, spanPages);
         // lint: cold-path per-run TLB construction, before replay
         tlbs.reserve(trace.threads);
         for (ThreadId t = 0; t < trace.threads; ++t) {
@@ -286,6 +539,80 @@ TraceSim::runDynamic(const trace::WorkloadTrace &trace)
     std::vector<core::RegionMigration> pending_regions;
     std::vector<core::PageMigration> pending_pages;
 
+    // Mid-run policy schedule (DESIGN.md §16): entries replace the
+    // engine's limit/threshold knobs at the top of their phase.
+    // Knob values are derived config, not serialized state, so on
+    // resume the prefix fromPhase < start_phase is re-applied below.
+    // lint: cold-path once-per-phase policy application
+    auto applyPolicy = [&](const PhasePolicy &pp) {
+        std::uint32_t limit = mig_cfg.migrationLimitPages;
+        if (mig_cfg.scaleLimitToFootprint)
+            limit = static_cast<std::uint32_t>(
+                std::max<std::uint64_t>(
+                    64,
+                    static_cast<std::uint64_t>(
+                        static_cast<double>(
+                            result.footprintPages) *
+                        pp.migrationLimitFraction)));
+        engine.reconfigure(limit, pp.poolSharerThreshold);
+    };
+
+    const bool resuming = star && hooks && hooks->resumeState &&
+                          hooks->resumePhase > 0 &&
+                          hooks->resumePhase < scale.phases;
+    int start_phase = 0;
+    if (resuming) {
+        // lint: cold-path once-per-run resume restore; every field
+        // is validated and any mismatch demotes to a cold run.
+        trace::ByteReader r(hooks->resumeState->data(),
+                            hooks->resumeState->size());
+        std::uint64_t magic = 0, k = 0, n = 0;
+        if (!r.getVarint(magic) || magic != checkpointMagic ||
+            !r.getVarint(k) ||
+            k != static_cast<std::uint64_t>(hooks->resumePhase) ||
+            !pm.loadState(r) || !r.getVarint(n) ||
+            n != cursor.size())
+            return false;
+        for (std::size_t t = 0; t < cursor.size(); ++t) {
+            std::uint64_t c = 0;
+            if (!r.getVarint(c) || c > trace.perThread[t].size())
+                return false;
+            cursor[t] = static_cast<std::size_t>(c);
+        }
+        if (!getRegionMigrations(r, pending_regions) ||
+            !getPageMigrations(r, pending_pages) ||
+            !engine.loadState(r) || !tlb_dir.loadState(r) ||
+            !r.getVarint(n) || n != tlbs.size())
+            return false;
+        for (core::TlbAnnex &tlb : tlbs)
+            if (!tlb.loadState(r))
+                return false;
+        if (!r.getVarint(n) ||
+            n != static_cast<std::uint64_t>(hooks->resumePhase))
+            return false;
+        // lint: cold-path once-per-run resume restore
+        result.checkpoints.assign(
+            static_cast<std::size_t>(n), {});
+        for (Checkpoint &cp : result.checkpoints)
+            if (!decodeCheckpoint(r, cp))
+                return false;
+        if (r.remaining() != 0)
+            return false;
+        start_phase = hooks->resumePhase;
+        result.resumedFromPhase = start_phase;
+        for (const PhasePolicy &pp : setup.phasePolicies)
+            if (pp.fromPhase < start_phase)
+                applyPolicy(pp);
+    } else {
+        if (spanPages > 0) {
+            pm.preallocate(spanLo, spanPages);
+            if (star)
+                tlb_dir.preallocate(spanLo, spanPages);
+        }
+        for (const auto &ft : trace.firstTouches)
+            pm.touch(ft.page, socketOf(ft.thread));
+    }
+
     // lint: cold-path once-per-run telemetry gate behind one
     // relaxed load; off in benchmarked replay.
     const bool sample_ts = obs::TimeSeriesSink::global().enabled();
@@ -294,7 +621,24 @@ TraceSim::runDynamic(const trace::WorkloadTrace &trace)
         initReplayTelemetry(telemetry, result.timeseries, star,
                             scale.phases);
 
-    for (int phase = 0; phase < scale.phases; ++phase) {
+    const bool emit_state = star && hooks && hooks->onPhaseState;
+
+    for (int phase = start_phase; phase < scale.phases; ++phase) {
+        if (emit_state && phase > start_phase) {
+            // lint: cold-path once-per-phase resume snapshot,
+            // emitted before this phase's policy entries apply (the
+            // image depends only on the prefix fromPhase < phase).
+            std::vector<std::uint8_t> state;
+            encodeResumeState(state, phase, pm, cursor,
+                              pending_regions, pending_pages,
+                              engine, tlb_dir, tlbs,
+                              result.checkpoints);
+            hooks->onPhaseState(phase, state);
+        }
+        // lint: cold-path once-per-phase policy schedule scan
+        for (const PhasePolicy &pp : setup.phasePolicies)
+            if (pp.fromPhase == phase)
+                applyPolicy(pp);
         Checkpoint cp;
         cp.pageHome = snapshot(pm);
         cp.regionMigrations = std::move(pending_regions);
@@ -399,7 +743,7 @@ TraceSim::runDynamic(const trace::WorkloadTrace &trace)
     // load; off in benchmarked replay.
     if (obs::AuditSink::global().enabled())
         result.audit = engine.audit();
-    return result;
+    return true;
 }
 
 // lint: artifact-root step_b_checkpoint
@@ -465,67 +809,25 @@ TraceSim::runStaticOracle(const trace::WorkloadTrace &trace)
     return result;
 }
 
-namespace
-{
-
-// Checkpoint artifact format v2 ("STARCKP2"): varint/delta coded
-// with the trace/columnar.hh primitives. Collections are written in
-// sorted page order so artifacts stay byte-identical across runs.
-constexpr std::uint64_t checkpointMagic = 0x53544152434b5032ULL;
-
-void
-putDouble(std::vector<std::uint8_t> &out, double v)
-{
-    std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
-    for (int i = 0; i < 8; ++i)
-        out.push_back(
-            static_cast<std::uint8_t>(bits >> (8 * i)));
-}
-
-bool
-getDouble(trace::ByteReader &r, double &v)
-{
-    std::uint64_t bits = 0;
-    if (!r.getU64(bits))
-        return false;
-    v = std::bit_cast<double>(bits);
-    return true;
-}
-
-PageNum
-pageOf(const std::pair<PageNum, NodeId> &kv)
-{
-    return kv.first;
-}
-
-PageNum
-pageOf(PageNum page)
-{
-    return page;
-}
-
-/** Sorted copy of the pages in a flat page set/map. */
-template <typename Pages>
-std::vector<PageNum>
-sortedPages(const Pages &source)
-{
-    std::vector<PageNum> out;
-    out.reserve(source.size());
-    for (const auto &entry : source)
-        out.push_back(pageOf(entry));
-    std::sort(out.begin(), out.end());
-    return out;
-}
-
-} // anonymous namespace
-
 // lint: artifact-root step_b_checkpoint
 bool
 TraceSimResult::save(const std::string &path) const
 {
-    using trace::putVarint;
-    using trace::zigzag;
+    std::vector<std::uint8_t> buf = serialize();
 
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    bool ok =
+        std::fwrite(buf.data(), 1, buf.size(), f) == buf.size();
+    std::fclose(f);
+    return ok;
+}
+
+// lint: artifact-root step_b_checkpoint
+std::vector<std::uint8_t>
+TraceSimResult::serialize() const
+{
     std::vector<std::uint8_t> buf;
     putVarint(buf, checkpointMagic);
     putVarint(buf, checkpoints.size());
@@ -537,38 +839,8 @@ TraceSimResult::save(const std::string &path) const
     putVarint(buf, pingPongSuppressed);
     putVarint(buf, pagesInPool);
     putDouble(buf, poolMigrationFraction);
-    for (const Checkpoint &cp : checkpoints) {
-        putVarint(buf, cp.pageHome.size());
-        std::vector<PageNum> sorted = sortedPages(cp.pageHome);
-        std::uint64_t prev = 0;
-        for (PageNum page : sorted) {
-            putVarint(buf, page.value() - prev);
-            prev = page.value();
-            putVarint(buf, zigzag(cp.pageHome.at(page)));
-        }
-        putVarint(buf, cp.regionMigrations.size());
-        std::uint64_t prev_region = 0;
-        for (const core::RegionMigration &m :
-             cp.regionMigrations) {
-            putVarint(buf,
-                      zigzag(static_cast<std::int64_t>(
-                          m.region - prev_region)));
-            prev_region = m.region;
-            putVarint(buf, zigzag(m.from));
-            putVarint(buf, zigzag(m.to));
-            buf.push_back(m.victimEviction ? 1 : 0);
-        }
-        putVarint(buf, cp.pageMigrations.size());
-        std::uint64_t prev_page = 0;
-        for (const core::PageMigration &m : cp.pageMigrations) {
-            putVarint(buf,
-                      zigzag(static_cast<std::int64_t>(
-                          m.page.value() - prev_page)));
-            prev_page = m.page.value();
-            putVarint(buf, zigzag(m.from));
-            putVarint(buf, zigzag(m.to));
-        }
-    }
+    for (const Checkpoint &cp : checkpoints)
+        encodeCheckpoint(buf, cp);
     putVarint(buf, replication.replicated.size());
     std::vector<PageNum> rep =
         sortedPages(replication.replicated);
@@ -578,26 +850,23 @@ TraceSimResult::save(const std::string &path) const
         prev = page.value();
     }
     putDouble(buf, replication.capacityOverhead);
-
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f)
-        return false;
-    bool ok =
-        std::fwrite(buf.data(), 1, buf.size(), f) == buf.size();
-    std::fclose(f);
-    return ok;
+    return buf;
 }
 
 bool
 TraceSimResult::load(const std::string &path)
 {
-    using trace::unzigzag;
-
     std::vector<std::uint8_t> buf;
     if (!trace::readFileBytes(path, buf))
         return false;
+    ByteReader r(buf.data(), buf.size());
+    return deserialize(r) && r.remaining() == 0;
+}
 
-    trace::ByteReader r(buf.data(), buf.size());
+// lint: cold-path artifact decode, once per load
+bool
+TraceSimResult::deserialize(ByteReader &r)
+{
     std::uint64_t magic = 0, n_cp = 0;
     if (!r.getVarint(magic) || magic != checkpointMagic ||
         !r.getVarint(n_cp))
@@ -618,50 +887,9 @@ TraceSimResult::load(const std::string &path)
     if (n_cp > r.remaining())
         return false; // implausible count: refuse to allocate
     checkpoints.assign(n_cp, {});
-    for (Checkpoint &cp : checkpoints) {
-        std::uint64_t n = 0;
-        if (!r.getVarint(n) || n > r.remaining())
+    for (Checkpoint &cp : checkpoints)
+        if (!decodeCheckpoint(r, cp))
             return false;
-        cp.pageHome.reserve(n);
-        std::uint64_t page = 0;
-        for (std::uint64_t i = 0; i < n; ++i) {
-            std::uint64_t delta = 0, home = 0;
-            if (!r.getVarint(delta) || !r.getVarint(home))
-                return false;
-            page += delta;
-            cp.pageHome[PageNum(page)] =
-                static_cast<NodeId>(unzigzag(home));
-        }
-        if (!r.getVarint(n) || n > r.remaining())
-            return false;
-        cp.regionMigrations.reserve(n);
-        std::uint64_t region = 0;
-        for (std::uint64_t i = 0; i < n; ++i) {
-            std::uint64_t delta = 0, from = 0, to = 0;
-            std::uint8_t victim = 0;
-            if (!r.getVarint(delta) || !r.getVarint(from) ||
-                !r.getVarint(to) || !r.getBytes(&victim, 1))
-                return false;
-            region += static_cast<std::uint64_t>(unzigzag(delta));
-            cp.regionMigrations.push_back(
-                {region, static_cast<NodeId>(unzigzag(from)),
-                 static_cast<NodeId>(unzigzag(to)), victim != 0});
-        }
-        if (!r.getVarint(n) || n > r.remaining())
-            return false;
-        cp.pageMigrations.reserve(n);
-        page = 0;
-        for (std::uint64_t i = 0; i < n; ++i) {
-            std::uint64_t delta = 0, from = 0, to = 0;
-            if (!r.getVarint(delta) || !r.getVarint(from) ||
-                !r.getVarint(to))
-                return false;
-            page += static_cast<std::uint64_t>(unzigzag(delta));
-            cp.pageMigrations.push_back(
-                {PageNum(page), static_cast<NodeId>(unzigzag(from)),
-                 static_cast<NodeId>(unzigzag(to))});
-        }
-    }
     std::uint64_t n_rep = 0;
     if (!r.getVarint(n_rep) || n_rep > r.remaining())
         return false;

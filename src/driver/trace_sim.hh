@@ -12,6 +12,8 @@
 #ifndef STARNUMA_DRIVER_TRACE_SIM_HH
 #define STARNUMA_DRIVER_TRACE_SIM_HH
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,7 @@
 #include "core/perfect_policy.hh"
 #include "core/replication.hh"
 #include "driver/system_setup.hh"
+#include "sim/bytes.hh"
 #include "sim/flat_map.hh"
 #include "sim/obs/audit.hh"
 #include "sim/obs/registry.hh"
@@ -73,6 +76,14 @@ struct TraceSimResult
     std::uint64_t tlbShootdownsSaved = 0;
 
     /**
+     * Migration phase this run actually resumed from via
+     * PhaseStateHooks (0 = ran cold, including after a failed
+     * restore). Runtime diagnostic for the cache's partial-hit
+     * accounting; not serialized by save()/load().
+     */
+    int resumedFromPhase = 0;
+
+    /**
      * Migration-engine / TLB-directory registry snapshot, taken at
      * the end of the run while the obs::StatsSink is enabled; empty
      * otherwise. Not serialized by save()/load().
@@ -107,6 +118,53 @@ struct TraceSimResult
 
     /** Load checkpoints previously written by save(). */
     bool load(const std::string &path);
+
+    /** The exact byte image save() writes (format v2), for callers
+     *  that store the artifact elsewhere (the content-addressed
+     *  artifact store, DESIGN.md §16). */
+    std::vector<std::uint8_t> serialize() const;
+
+    /**
+     * Decode a serialize() image from @p r, leaving the reader
+     * positioned after it (embeddable in larger records).
+     * @return false on malformed input.
+     */
+    bool deserialize(ByteReader &r);
+};
+
+/**
+ * Incremental sweep hooks (DESIGN.md §16): lets the artifact cache
+ * observe and restore the replay's full mutable state at phase
+ * boundaries so a sweep cell whose policy diverges only at phase k
+ * resumes from the last shared phase instead of replaying from
+ * scratch.
+ *
+ * The hooks are honored only on dynamic-placement runs of a pooled
+ * (StarNUMA) setup with the TimeSeriesSink and AuditSink disabled:
+ * the state image carries neither telemetry deltas nor the audit
+ * log, and the baseline's perfect-knowledge policy is deliberately
+ * not serialized. Outside that envelope TraceSim silently ignores
+ * the hooks and runs cold — never a wrong artifact.
+ */
+struct PhaseStateHooks
+{
+    /**
+     * Called at the top of each migration phase @c phase >= 1 (and
+     * > resumePhase when resuming) with the serialized replay state
+     * as of that boundary, BEFORE any PhasePolicy entry with
+     * fromPhase == phase is applied — the state depends only on the
+     * policy prefix fromPhase < phase, which is what the artifact
+     * cache keys it by.
+     */
+    std::function<void(int phase,
+                       const std::vector<std::uint8_t> &state)>
+        onPhaseState;
+
+    /** Resume from this phase (0 = cold run from the start). */
+    int resumePhase = 0;
+
+    /** State image for resumePhase (from a prior onPhaseState). */
+    const std::vector<std::uint8_t> *resumeState = nullptr;
 };
 
 /** The memory-trace simulator. */
@@ -116,11 +174,21 @@ class TraceSim
     TraceSim(const SystemSetup &system_setup,
              const SimScale &sim_scale);
 
-    /** Run all phases over @p trace. */
-    TraceSimResult run(const trace::WorkloadTrace &trace);
+    /**
+     * Run all phases over @p trace. @p hooks (optional) enables the
+     * incremental sweep engine's per-phase state capture/resume; a
+     * resume image that fails validation falls back to a clean cold
+     * run with identical results.
+     */
+    TraceSimResult run(const trace::WorkloadTrace &trace,
+                       const PhaseStateHooks *hooks = nullptr);
 
   private:
-    TraceSimResult runDynamic(const trace::WorkloadTrace &trace);
+    TraceSimResult runDynamic(const trace::WorkloadTrace &trace,
+                              const PhaseStateHooks *hooks);
+    bool runDynamicImpl(const trace::WorkloadTrace &trace,
+                        const PhaseStateHooks *hooks,
+                        TraceSimResult &result);
     TraceSimResult runStaticOracle(const trace::WorkloadTrace &trace);
 
     NodeId socketOf(ThreadId t) const;

@@ -56,6 +56,18 @@ class Snapshot
     void set(const std::string &path, double v);
     void setCount(const std::string &path, std::uint64_t v);
 
+    /**
+     * Restore an already-formatted entry verbatim — the cache-hit
+     * path of the incremental sweep engine (DESIGN.md §16) rebuilds
+     * snapshots from stored artifacts, where re-formatting would be
+     * a second rounding decision. Not for live values.
+     */
+    void
+    setFormatted(const std::string &path, const std::string &value)
+    {
+        vals[path] = value;
+    }
+
     /** Copy every entry of @p other in under @p prefix. */
     void merge(const std::string &prefix, const Snapshot &other);
 

@@ -14,8 +14,10 @@
  * failure — never undefined behaviour (fuzzed in
  * tests/columnar_trace_test.cc under ASan).
  *
- * The varint primitives are exposed because the step-B checkpoint
- * serialization (driver/trace_sim.cc) shares them.
+ * The varint/ByteReader primitives live in sim/bytes.hh (the step-B
+ * checkpoint serialization and the mem/core resume-state encoders
+ * share them from below this layer); they are re-exported here so
+ * trace-side call sites keep their historical names.
  */
 
 #ifndef STARNUMA_TRACE_COLUMNAR_HH
@@ -25,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/bytes.hh"
 #include "trace/trace.hh"
 
 namespace starnuma
@@ -32,92 +35,10 @@ namespace starnuma
 namespace trace
 {
 
-/** LEB128 append of @p v to @p out (1-10 bytes). */
-inline void
-putVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
-{
-    while (v >= 0x80) {
-        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
-        v >>= 7;
-    }
-    out.push_back(static_cast<std::uint8_t>(v));
-}
-
-/** Map signed to unsigned so small magnitudes stay small. */
-inline std::uint64_t
-zigzag(std::int64_t v)
-{
-    return (static_cast<std::uint64_t>(v) << 1) ^
-           static_cast<std::uint64_t>(v >> 63);
-}
-
-inline std::int64_t
-unzigzag(std::uint64_t v)
-{
-    return static_cast<std::int64_t>(v >> 1) ^
-           -static_cast<std::int64_t>(v & 1);
-}
-
-/** Bounds-checked cursor over an encoded byte buffer. */
-class ByteReader
-{
-  public:
-    ByteReader(const std::uint8_t *data, std::size_t size)
-        : p(data), end(data + size)
-    {
-    }
-
-    std::size_t remaining() const
-    {
-        return static_cast<std::size_t>(end - p);
-    }
-
-    /** @return false on truncation or an over-long varint. */
-    bool
-    getVarint(std::uint64_t &v)
-    {
-        v = 0;
-        for (int shift = 0; shift < 64; shift += 7) {
-            if (p == end)
-                return false;
-            std::uint8_t byte = *p++;
-            v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
-            if (!(byte & 0x80))
-                return true;
-        }
-        return false; // > 10 bytes: corrupt
-    }
-
-    /** Fixed-width little-endian u64 (the v1 trace and checkpoint
-     *  headers use fixed fields). @return false on truncation. */
-    bool
-    getU64(std::uint64_t &v)
-    {
-        if (remaining() < 8)
-            return false;
-        v = 0;
-        for (int i = 0; i < 8; ++i)
-            v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
-        p += 8;
-        return true;
-    }
-
-    bool
-    getBytes(void *dst, std::size_t n)
-    {
-        if (remaining() < n)
-            return false;
-        std::uint8_t *out = static_cast<std::uint8_t *>(dst);
-        for (std::size_t i = 0; i < n; ++i)
-            out[i] = p[i];
-        p += n;
-        return true;
-    }
-
-  private:
-    const std::uint8_t *p;
-    const std::uint8_t *end;
-};
+using starnuma::ByteReader;
+using starnuma::putVarint;
+using starnuma::unzigzag;
+using starnuma::zigzag;
 
 /** Serialize @p t into the columnar v2 byte layout. */
 std::vector<std::uint8_t> encodeColumnar(const WorkloadTrace &t);
